@@ -1,0 +1,105 @@
+//! E7 micro-benchmarks: the degradation pump.
+//!
+//! Measures transitions/second through the full system-transaction path
+//! (locks, secure rewrite, index migration, sealed WAL) at several batch
+//! sizes, plus the scheduler's queue operations in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use instant_common::{Duration, MockClock, Timestamp, Value};
+use instant_core::baseline::{protected_location_schema, Protection};
+use instant_core::db::{Db, DbConfig, WalMode};
+use instant_core::scheduler::{DegradationScheduler, PendingTransition};
+use instant_lcp::AttributeLcp;
+use instant_workload::location::{LocationDomain, LocationShape};
+use instant_workload::rng::Rng;
+
+const TUPLES: usize = 2_000;
+
+fn bench_pump(c: &mut Criterion) {
+    let domain = LocationDomain::generate(LocationShape::default(), 0.9);
+    let mut group = c.benchmark_group("degradation_pump");
+    group.throughput(Throughput::Elements(TUPLES as u64));
+    group.sample_size(10);
+    for batch in [16usize, 256, 0] {
+        group.bench_with_input(
+            BenchmarkId::new("batch", if batch == 0 { "unbounded".into() } else { batch.to_string() }),
+            &batch,
+            |b, &batch| {
+                b.iter_batched(
+                    || {
+                        // Fresh store with TUPLES due transitions.
+                        let clock = MockClock::new();
+                        let db = Db::open(
+                            DbConfig {
+                                batch_max: batch,
+                                wal_mode: WalMode::Sealed,
+                                buffer_frames: 4096,
+                                ..DbConfig::default()
+                            },
+                            clock.shared(),
+                        )
+                        .unwrap();
+                        let scheme = Protection::Degradation(
+                            AttributeLcp::from_pairs(&[
+                                (0, Duration::hours(1)),
+                                (3, Duration::days(30)),
+                            ])
+                            .unwrap(),
+                        );
+                        db.create_table(
+                            protected_location_schema("events", domain.hierarchy(), &scheme)
+                                .unwrap(),
+                        )
+                        .unwrap();
+                        let mut rng = Rng::new(7);
+                        for i in 0..TUPLES {
+                            let addr = domain.sample_address(&mut rng).to_string();
+                            db.insert(
+                                "events",
+                                &[
+                                    Value::Int(i as i64),
+                                    Value::Str("u".into()),
+                                    Value::Str(addr),
+                                ],
+                            )
+                            .unwrap();
+                        }
+                        clock.advance(Duration::hours(2));
+                        db
+                    },
+                    |db| {
+                        let r = db.pump_degradation().unwrap();
+                        assert_eq!(r.fired, TUPLES);
+                    },
+                    criterion::BatchSize::PerIteration,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_scheduler_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_queue");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("schedule_10k_then_drain", |b| {
+        b.iter(|| {
+            let s = DegradationScheduler::new();
+            for i in 0..10_000u64 {
+                s.schedule(PendingTransition {
+                    due: Timestamp::micros((i * 7919) % 100_000),
+                    table: instant_common::TableId(1),
+                    tid: instant_common::TupleId::unpack(i),
+                    deg_slot: 0,
+                    from_stage: 0,
+                });
+            }
+            let batch = s.due_batch(Timestamp::micros(100_000), 0);
+            assert_eq!(batch.len(), 10_000);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pump, bench_scheduler_queue);
+criterion_main!(benches);

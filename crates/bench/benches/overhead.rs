@@ -1,0 +1,170 @@
+//! E10: what does degradation awareness cost the OLTP path?
+//!
+//! * insert throughput: stable-only table vs degradable table (the extra
+//!   cost is capacity reservation, index-at-level and transition arming),
+//!   across WAL modes (off / plain / sealed — sealing adds the cipher);
+//! * reader latency with and without a concurrently pumping degrader.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use instant_common::{DataType, Duration, MockClock, Value};
+use instant_core::db::{Db, DbConfig, WalMode};
+use instant_core::schema::{Column, TableSchema};
+use instant_lcp::AttributeLcp;
+use instant_workload::location::{LocationDomain, LocationShape};
+use instant_workload::rng::Rng;
+
+fn schema_degradable(domain: &LocationDomain) -> TableSchema {
+    TableSchema::new(
+        "events",
+        vec![
+            Column::stable("id", DataType::Int).with_index(),
+            Column::stable("user", DataType::Str),
+            Column::degradable(
+                "location",
+                DataType::Str,
+                domain.hierarchy(),
+                AttributeLcp::from_pairs(&[
+                    (0, Duration::hours(1)),
+                    (1, Duration::days(1)),
+                    (3, Duration::days(30)),
+                ])
+                .unwrap(),
+            )
+            .unwrap()
+            .with_index(),
+        ],
+    )
+    .unwrap()
+}
+
+fn schema_stable() -> TableSchema {
+    TableSchema::new(
+        "events",
+        vec![
+            Column::stable("id", DataType::Int).with_index(),
+            Column::stable("user", DataType::Str),
+            Column::stable("location", DataType::Str).with_index(),
+        ],
+    )
+    .unwrap()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let domain = LocationDomain::generate(LocationShape::default(), 0.9);
+    let mut group = c.benchmark_group("insert_path");
+    group.throughput(Throughput::Elements(1));
+    group.sample_size(20);
+    for (name, degradable, wal) in [
+        ("stable/wal-off", false, WalMode::Off),
+        ("degradable/wal-off", true, WalMode::Off),
+        ("degradable/wal-plain", true, WalMode::Plain),
+        ("degradable/wal-sealed", true, WalMode::Sealed),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let clock = MockClock::new();
+            let db = Db::open(
+                DbConfig {
+                    wal_mode: wal,
+                    buffer_frames: 8192,
+                    ..DbConfig::default()
+                },
+                clock.shared(),
+            )
+            .unwrap();
+            if degradable {
+                db.create_table(schema_degradable(&domain)).unwrap();
+            } else {
+                db.create_table(schema_stable()).unwrap();
+            }
+            let mut rng = Rng::new(1);
+            let mut i = 0i64;
+            b.iter(|| {
+                let addr = domain.sample_address(&mut rng).to_string();
+                db.insert(
+                    "events",
+                    &[Value::Int(i), Value::Str("u".into()), Value::Str(addr)],
+                )
+                .unwrap();
+                i += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_reader_vs_degrader(c: &mut Criterion) {
+    let domain = LocationDomain::generate(LocationShape::default(), 0.9);
+    let mut group = c.benchmark_group("read_tuple_latency");
+    group.sample_size(30);
+    for degrader_active in [false, true] {
+        let name = if degrader_active {
+            "with_degrader"
+        } else {
+            "quiescent"
+        };
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let clock = MockClock::new();
+            let db = Arc::new(
+                Db::open(
+                    DbConfig {
+                        wal_mode: WalMode::Off,
+                        buffer_frames: 8192,
+                        batch_max: 64,
+                        ..DbConfig::default()
+                    },
+                    clock.shared(),
+                )
+                .unwrap(),
+            );
+            db.create_table(schema_degradable(&domain)).unwrap();
+            let mut rng = Rng::new(2);
+            let mut tids = Vec::new();
+            for i in 0..5_000i64 {
+                let addr = domain.sample_address(&mut rng).to_string();
+                tids.push(
+                    db.insert(
+                        "events",
+                        &[Value::Int(i), Value::Str("u".into()), Value::Str(addr)],
+                    )
+                    .unwrap(),
+                );
+            }
+            if degrader_active {
+                // Make all transitions due so every pump batch competes
+                // with the readers for tuple locks.
+                clock.advance(Duration::hours(2));
+            }
+            let table = db.catalog().get("events").unwrap();
+            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let pump_handle = if degrader_active {
+                let db2 = db.clone();
+                let stop2 = stop.clone();
+                Some(std::thread::spawn(move || {
+                    while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                        let _ = db2.pump_one_batch();
+                        std::thread::yield_now();
+                    }
+                }))
+            } else {
+                None
+            };
+            let mut k = 0usize;
+            b.iter(|| {
+                let tid = tids[k % tids.len()];
+                k += 1;
+                // Tuples may be mid-degradation; read through the lock path.
+                let _ = db.read_tuple(&table, tid);
+            });
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            if let Some(h) = pump_handle {
+                h.join().unwrap();
+            }
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_reader_vs_degrader);
+criterion_main!(benches);

@@ -1,0 +1,163 @@
+//! E11: crash recovery — correctness and cost.
+//!
+//! For growing post-checkpoint workloads: crash, recover, verify that (a)
+//! every committed tuple is back at its exact degraded state (engine ==
+//! abstract model), (b) nothing resurrected to finer accuracy, and report
+//! the recovery wall time against the replayed log size. Expected shape:
+//! recovery time linear in the post-checkpoint log.
+//!
+//! Run: `cargo run --release -p instant-bench --bin exp_recovery`
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use instant_bench::Report;
+use instant_common::{Clock, Duration, MockClock, Value};
+use instant_core::baseline::{protected_location_schema, Protection};
+use instant_core::db::{Db, DbConfig};
+use instant_lcp::{AttributeLcp, Degrader, Hierarchy};
+use instant_workload::location::{LocationDomain, LocationShape};
+use instant_workload::rng::Rng;
+
+fn main() {
+    let domain = LocationDomain::generate(LocationShape::default(), 0.9);
+    let mut r = Report::new(
+        "E11 — recovery time vs post-checkpoint log (crash mid-degradation)",
+        &[
+            "post-ckpt inserts",
+            "log bytes",
+            "recovered tuples",
+            "state mismatches",
+            "resurrections",
+            "recovery ms",
+        ],
+    );
+    for n in [100usize, 500, 2000, 8000] {
+        let row = run(&domain, n);
+        r.row_strings(vec![
+            n.to_string(),
+            row.0.to_string(),
+            row.1.to_string(),
+            row.2.to_string(),
+            row.3.to_string(),
+            row.4.to_string(),
+        ]);
+    }
+    r.emit("e11_recovery");
+}
+
+fn run(domain: &LocationDomain, n: usize) -> (u64, usize, usize, usize, u128) {
+    let path = PathBuf::from(std::env::temp_dir()).join(format!(
+        "instantdb-e11-{}-{n}",
+        std::process::id()
+    ));
+    for ext in ["idb", "wal", "meta"] {
+        let mut s = path.as_os_str().to_os_string();
+        s.push(".");
+        s.push(ext);
+        let _ = std::fs::remove_file(PathBuf::from(s));
+    }
+    let clock = MockClock::new();
+    let cfg = DbConfig {
+        path: Some(path.clone()),
+        ..DbConfig::default()
+    };
+    let lcp = AttributeLcp::from_pairs(&[
+        (0, Duration::hours(1)),
+        (1, Duration::days(1)),
+        (3, Duration::days(30)),
+    ])
+    .unwrap();
+    let scheme = Protection::Degradation(lcp.clone());
+    let schema = protected_location_schema("events", domain.hierarchy(), &scheme).unwrap();
+    let degrader = Degrader::new(domain.hierarchy(), lcp).unwrap();
+
+    // Phase 1: work, checkpoint, more work, degrade, crash.
+    let mut expected: Vec<(i64, instant_common::Timestamp, String)> = Vec::new();
+    let log_bytes;
+    {
+        let db = Db::open(cfg.clone(), clock.shared()).unwrap();
+        db.create_table(schema.clone()).unwrap();
+        let mut rng = Rng::new(n as u64);
+        // Half the tuples before the checkpoint…
+        for i in 0..n / 2 {
+            let addr = domain.sample_address(&mut rng).to_string();
+            db.insert(
+                "events",
+                &[
+                    Value::Int(i as i64),
+                    Value::Str(format!("user{}", i % 20)),
+                    Value::Str(addr.clone()),
+                ],
+            )
+            .unwrap();
+            expected.push((i as i64, clock.now(), addr));
+        }
+        db.checkpoint().unwrap();
+        // …half after, plus a degradation pass mid-flight.
+        clock.advance(Duration::minutes(30));
+        for i in n / 2..n {
+            let addr = domain.sample_address(&mut rng).to_string();
+            db.insert(
+                "events",
+                &[
+                    Value::Int(i as i64),
+                    Value::Str(format!("user{}", i % 20)),
+                    Value::Str(addr.clone()),
+                ],
+            )
+            .unwrap();
+            expected.push((i as i64, clock.now(), addr));
+        }
+        clock.advance(Duration::hours(1));
+        db.pump_degradation().unwrap(); // first batch past 1h → city
+        log_bytes = std::fs::metadata(format!("{}.wal", path.display()))
+            .map(|m| m.len())
+            .unwrap_or(0);
+        drop(db); // crash
+    }
+
+    // Phase 2: recover and verify against the abstract model.
+    let start = Instant::now();
+    let db = Db::recover_with_schemas(cfg, clock.shared(), vec![schema]).unwrap();
+    let elapsed = start.elapsed().as_millis();
+    let table = db.catalog().get("events").unwrap();
+    let now = clock.now();
+    let live: std::collections::HashMap<i64, Value> = table
+        .scan()
+        .unwrap()
+        .into_iter()
+        .map(|(_, t)| (t.row[0].as_int().unwrap(), t.row[2].clone()))
+        .collect();
+    let mut mismatches = 0usize;
+    let mut resurrections = 0usize;
+    for (id, birth, addr) in &expected {
+        let predicted = degrader
+            .value_at(&Value::Str(addr.clone()), now.since(*birth))
+            .unwrap();
+        match live.get(id) {
+            Some(stored) => {
+                if stored != &predicted {
+                    mismatches += 1;
+                    // A mismatch that is *finer* than predicted is a
+                    // resurrection — the cardinal sin.
+                    if domain.tree().level_of(stored) < domain.tree().level_of(&predicted) {
+                        resurrections += 1;
+                    }
+                }
+            }
+            None => {
+                if predicted != Value::Removed {
+                    mismatches += 1;
+                }
+            }
+        }
+    }
+    for ext in ["idb", "wal", "meta"] {
+        let mut s = path.as_os_str().to_os_string();
+        s.push(".");
+        s.push(ext);
+        let _ = std::fs::remove_file(PathBuf::from(s));
+    }
+    (log_bytes, live.len(), mismatches, resurrections, elapsed)
+}

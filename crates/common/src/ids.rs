@@ -1,0 +1,143 @@
+//! Strongly typed identifiers.
+//!
+//! Newtypes rather than bare integers so that a page id can never be passed
+//! where a slot id is expected. All ids are `Copy` and order/hash cheaply.
+
+use std::fmt;
+
+/// Identifier of a page inside a single storage file. Page 0 is the file
+/// header; data pages start at 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u32);
+
+/// Slot index inside a slotted page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlotId(pub u16);
+
+/// Physical tuple address: `(page, slot)`. Stable for the life of the tuple
+/// (degradation rewrites in place; expunge frees the slot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TupleId {
+    pub page: PageId,
+    pub slot: SlotId,
+}
+
+impl TupleId {
+    pub const fn new(page: u32, slot: u16) -> Self {
+        TupleId {
+            page: PageId(page),
+            slot: SlotId(slot),
+        }
+    }
+
+    /// Pack into a u64 for index payloads: high 32 bits page, low 16 slot.
+    pub const fn pack(self) -> u64 {
+        ((self.page.0 as u64) << 16) | self.slot.0 as u64
+    }
+
+    /// Inverse of [`TupleId::pack`].
+    pub const fn unpack(v: u64) -> Self {
+        TupleId {
+            page: PageId((v >> 16) as u32),
+            slot: SlotId((v & 0xFFFF) as u16),
+        }
+    }
+}
+
+/// Transaction identifier. Also used as the wait-die priority (smaller = older).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxId(pub u64);
+
+/// Catalog identifier of a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TableId(pub u32);
+
+/// Ordinal of a column within its table schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ColumnId(pub u16);
+
+/// Accuracy level within a Generalization Tree / LCP.
+///
+/// Level 0 is the most accurate (GT leaves, LCP state `d0`); higher values
+/// are coarser. This matches the paper's `d0 … dn` numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LevelId(pub u8);
+
+impl LevelId {
+    pub const ACCURATE: LevelId = LevelId(0);
+
+    pub fn coarser(self) -> LevelId {
+        LevelId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+impl fmt::Display for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.page, self.slot)
+    }
+}
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tx{}", self.0)
+    }
+}
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+impl fmt::Display for ColumnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+impl fmt::Display for LevelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_id_pack_round_trip() {
+        for (p, s) in [(0u32, 0u16), (1, 7), (u32::MAX, u16::MAX), (42, 999)] {
+            let t = TupleId::new(p, s);
+            assert_eq!(TupleId::unpack(t.pack()), t);
+        }
+    }
+
+    #[test]
+    fn pack_orders_by_page_then_slot() {
+        let a = TupleId::new(1, 500).pack();
+        let b = TupleId::new(2, 0).pack();
+        assert!(a < b);
+        let c = TupleId::new(1, 501).pack();
+        assert!(a < c);
+    }
+
+    #[test]
+    fn level_display_matches_paper_notation() {
+        assert_eq!(LevelId(0).to_string(), "d0");
+        assert_eq!(LevelId(3).to_string(), "d3");
+        assert_eq!(LevelId::ACCURATE.coarser(), LevelId(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TupleId::new(3, 4).to_string(), "P3:s4");
+        assert_eq!(TxId(9).to_string(), "tx9");
+    }
+}

@@ -1,0 +1,204 @@
+//! Baseline protection schemes (paper Section I).
+//!
+//! The paper positions degradation against the existing alternatives; all
+//! three are expressible inside the same engine as limiting cases of the
+//! LCP model, which makes the comparisons of E4–E6 apples-to-apples:
+//!
+//! * **No protection** — a single-stage LCP at the accurate level with an
+//!   effectively infinite retention: data stays accurate forever.
+//! * **Limited retention** — a single-stage LCP at the accurate level with
+//!   retention = the TTL: the paper's "all-or-nothing behaviour" (accurate
+//!   until the limit, then gone). Its overstatement pathology — "retention
+//!   limits … expressed in terms of years" — is reproduced by choosing a
+//!   long TTL.
+//! * **Static anonymization** — a single-stage LCP whose *first* stage sits
+//!   at a coarse level: the engine generalizes at ingest (the accurate
+//!   form never reaches the page) and never degrades further. This models
+//!   publish-time generalization; identity columns remain, matching the
+//!   paper's observation that degradation (unlike anonymization) keeps
+//!   donor identity for user-oriented services.
+//! * **Degradation** — a full multi-stage LCP.
+
+use std::sync::Arc;
+
+use instant_common::{DataType, Duration, LevelId, Result};
+use instant_lcp::hierarchy::Hierarchy;
+use instant_lcp::{AttributeLcp, LcpStage};
+
+use crate::schema::{Column, TableSchema};
+
+/// Effectively-forever retention for the no-protection/static-anon cases.
+pub const FOREVER: Duration = Duration::years(100);
+
+/// The protection scheme applied to a sensitive attribute.
+#[derive(Debug, Clone)]
+pub enum Protection {
+    /// Accurate forever.
+    None,
+    /// Accurate for the TTL, then the tuple disappears.
+    Retention(Duration),
+    /// Generalized to `level` at ingest, kept (at that accuracy) for the
+    /// given retention (use [`FOREVER`] for publish-style anonymization).
+    StaticAnon(LevelId, Duration),
+    /// Progressive degradation under the given LCP.
+    Degradation(AttributeLcp),
+}
+
+impl Protection {
+    /// The LCP realizing this scheme.
+    pub fn lcp(&self) -> Result<AttributeLcp> {
+        match self {
+            Protection::None => AttributeLcp::new(vec![LcpStage {
+                level: LevelId(0),
+                retention: FOREVER,
+            }]),
+            Protection::Retention(ttl) => AttributeLcp::new(vec![LcpStage {
+                level: LevelId(0),
+                retention: *ttl,
+            }]),
+            Protection::StaticAnon(level, retention) => AttributeLcp::new(vec![LcpStage {
+                level: *level,
+                retention: *retention,
+            }]),
+            Protection::Degradation(lcp) => Ok(lcp.clone()),
+        }
+    }
+
+    pub fn label(&self) -> String {
+        match self {
+            Protection::None => "no-protection".into(),
+            Protection::Retention(d) => format!("retention({d})"),
+            Protection::StaticAnon(l, _) => format!("static-anon(d{})", l.0),
+            Protection::Degradation(_) => "degradation".into(),
+        }
+    }
+}
+
+/// Build the standard experiment schema: `(id, user, location, …)` with the
+/// location column protected by `scheme`. Used by E4–E6 so every scheme
+/// runs identical workloads on identical table shapes.
+pub fn protected_location_schema(
+    table_name: &str,
+    hierarchy: Arc<dyn Hierarchy>,
+    scheme: &Protection,
+) -> Result<TableSchema> {
+    TableSchema::new(
+        table_name,
+        vec![
+            Column::stable("id", DataType::Int).with_index(),
+            Column::stable("user", DataType::Str),
+            Column::degradable("location", DataType::Str, hierarchy, scheme.lcp()?)?
+                .with_index(),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::{Db, DbConfig};
+    use crate::metrics::total_exposure;
+    use instant_common::{MockClock, Value};
+    use instant_lcp::gtree::location_tree_fig1;
+
+    fn db_with(scheme: &Protection, clock: &MockClock) -> Db {
+        let db = Db::open(DbConfig::default(), clock.shared()).unwrap();
+        let gt: Arc<dyn Hierarchy> = Arc::new(location_tree_fig1());
+        db.create_table(protected_location_schema("events", gt, scheme).unwrap())
+            .unwrap();
+        db
+    }
+
+    fn seed(db: &Db, n: i64) {
+        for i in 0..n {
+            db.insert(
+                "events",
+                &[
+                    Value::Int(i),
+                    Value::Str(format!("user{}", i % 3)),
+                    Value::Str("4 rue Jussieu".into()),
+                ],
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn no_protection_never_degrades() {
+        let clock = MockClock::new();
+        let db = db_with(&Protection::None, &clock);
+        seed(&db, 3);
+        clock.advance(Duration::years(2));
+        db.pump_degradation().unwrap();
+        assert!((total_exposure(&db).unwrap() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retention_is_all_or_nothing() {
+        let clock = MockClock::new();
+        let db = db_with(&Protection::Retention(Duration::days(30)), &clock);
+        seed(&db, 3);
+        clock.advance(Duration::days(29));
+        db.pump_degradation().unwrap();
+        // Fully accurate just before the limit…
+        assert!((total_exposure(&db).unwrap() - 3.0).abs() < 1e-9);
+        clock.advance(Duration::days(2));
+        db.pump_degradation().unwrap();
+        // …gone right after.
+        assert_eq!(total_exposure(&db).unwrap(), 0.0);
+        assert_eq!(
+            db.catalog().get("events").unwrap().live_count().unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn static_anon_never_stores_accurate_form() {
+        let clock = MockClock::new();
+        let db = db_with(&Protection::StaticAnon(LevelId(2), FOREVER), &clock);
+        seed(&db, 1);
+        let table = db.catalog().get("events").unwrap();
+        let (_tid, t) = &table.scan().unwrap()[0];
+        assert_eq!(t.row[2], Value::Str("Ile-de-France".into()));
+        // The accurate form is absent even from the raw heap image.
+        let needle = b"4 rue Jussieu";
+        let (_, img) = &db.forensic_images().unwrap()[0];
+        assert!(!img.windows(needle.len()).any(|w| w == needle));
+        // Exposure sits strictly between removed and accurate.
+        let e = total_exposure(&db).unwrap();
+        assert!(e > 0.0 && e < 1.0);
+    }
+
+    #[test]
+    fn degradation_exposure_below_retention_after_first_step() {
+        let clock = MockClock::new();
+        let deg = db_with(
+            &Protection::Degradation(AttributeLcp::fig2_location()),
+            &clock,
+        );
+        let ret = db_with(&Protection::Retention(Duration::years(1)), &clock);
+        seed(&deg, 5);
+        seed(&ret, 5);
+        clock.advance(Duration::days(2));
+        deg.pump_degradation().unwrap();
+        ret.pump_degradation().unwrap();
+        let e_deg = total_exposure(&deg).unwrap();
+        let e_ret = total_exposure(&ret).unwrap();
+        assert!(
+            e_deg < e_ret,
+            "claim 1: degradation ({e_deg}) must expose less than retention ({e_ret})"
+        );
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Protection::None.label(), "no-protection");
+        assert!(Protection::Retention(Duration::days(365))
+            .label()
+            .contains("365d"));
+        assert_eq!(
+            Protection::StaticAnon(LevelId(2), FOREVER).label(),
+            "static-anon(d2)"
+        );
+    }
+}

@@ -1,0 +1,1106 @@
+//! The engine façade.
+//!
+//! [`Db`] owns the buffer pool, catalog, WAL + key store, transaction
+//! manager, degradation scheduler and clock, and choreographs them:
+//!
+//! * **Insert** (Section II: only at the most accurate state): validates,
+//!   stores with life-cycle capacity reservation, indexes at the initial
+//!   level, WAL-logs (sealed in [`WalMode::Sealed`]), and arms the first
+//!   LCP transition per degradable attribute.
+//! * **Degradation pump**: pops due transitions, executes each batch as a
+//!   **system transaction** under tuple X locks (readers delay the
+//!   degrader, never see torn state), rewrites in place with secure
+//!   overwrite, migrates index levels, redo-logs the after-image only, and
+//!   re-arms. Reader/degrader lock casualties are counted, not fatal —
+//!   the victim transition is re-queued.
+//! * **Checkpoint**: flush pages → `Checkpoint` record → fsync → persist
+//!   catalog meta → physically truncate the old log → **shred** key windows
+//!   older than the checkpoint. After a checkpoint, no pre-checkpoint image
+//!   exists in readable form anywhere.
+//! * **Recovery** ([`Db::recover_with_schemas`]): reattach heaps (state as
+//!   of the last flush), rebuild indexes, logically redo committed WAL
+//!   operations after the checkpoint (idempotently, with tuple-id
+//!   remapping), and re-arm the scheduler from stored stage bytes — a tuple
+//!   can therefore never *regain* accuracy through a crash.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use instant_common::{
+    ColumnId, Duration, Error, Result, SharedClock, TableId, Timestamp, TupleId, Value,
+};
+use instant_storage::{BufferPool, DiskManager, SecurePolicy};
+use instant_tx::{LockMode, Resource, TxHandle, TxManager};
+use instant_wal::record::{LogRecord, Payload};
+use instant_wal::recovery::{self, Op};
+use instant_wal::{KeyStore, Wal};
+
+use crate::catalog::{Catalog, Table};
+use crate::scheduler::{DegradationScheduler, PendingTransition};
+use crate::schema::TableSchema;
+use crate::tuple::{encode_stored_raw, StoredTuple};
+
+/// How row images are logged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalMode {
+    /// No logging (volatile store; fastest, used as a bench baseline).
+    Off,
+    /// Classical plaintext WAL — the forensic-leaky baseline of E8.
+    Plain,
+    /// Degradation-aware WAL: images sealed under time-windowed keys.
+    Sealed,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Buffer pool frames.
+    pub buffer_frames: usize,
+    /// Heap deletion policy (secure overwrite vs classical naive).
+    pub secure: SecurePolicy,
+    pub wal_mode: WalMode,
+    /// Key-shredding window length (Sealed mode).
+    pub key_window: Duration,
+    /// Max transitions per degradation batch (0 = unbounded).
+    pub batch_max: usize,
+    /// Data directory prefix; `None` = ephemeral temp files.
+    pub path: Option<PathBuf>,
+    /// Key-derivation seed.
+    pub key_seed: u64,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            buffer_frames: 1024,
+            secure: SecurePolicy::Overwrite,
+            wal_mode: WalMode::Sealed,
+            key_window: Duration::hours(1),
+            batch_max: 1024,
+            path: None,
+            key_seed: 0x1D_B0_CAFE,
+        }
+    }
+}
+
+/// Engine statistics (monotonic counters).
+#[derive(Debug, Default)]
+pub struct DbStats {
+    pub inserts: AtomicU64,
+    pub degrade_steps: AtomicU64,
+    pub expunges: AtomicU64,
+    pub user_deletes: AtomicU64,
+    pub degrader_lock_retries: AtomicU64,
+    pub checkpoints: AtomicU64,
+}
+
+/// Result of one degradation pump.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PumpReport {
+    /// Attribute transitions executed.
+    pub fired: usize,
+    /// Whole tuples expunged.
+    pub expunged: usize,
+    /// Transitions deferred due to lock conflicts with readers/writers.
+    pub deferred: usize,
+}
+
+/// The InstantDB engine.
+pub struct Db {
+    cfg: DbConfig,
+    clock: SharedClock,
+    pool: Arc<BufferPool>,
+    catalog: Catalog,
+    wal: Option<Wal>,
+    keys: KeyStore,
+    txs: TxManager,
+    sched: DegradationScheduler,
+    stats: DbStats,
+    meta_lock: Mutex<()>,
+}
+
+impl std::fmt::Debug for Db {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Db").field("cfg", &self.cfg).finish()
+    }
+}
+
+impl Db {
+    /// Open a fresh database.
+    pub fn open(cfg: DbConfig, clock: SharedClock) -> Result<Db> {
+        let disk = match &cfg.path {
+            Some(p) => Arc::new(DiskManager::open(with_ext(p, "idb"))?),
+            None => Arc::new(DiskManager::temp("db")?),
+        };
+        let pool = Arc::new(BufferPool::new(disk, cfg.buffer_frames));
+        let wal = match cfg.wal_mode {
+            WalMode::Off => None,
+            _ => Some(match &cfg.path {
+                Some(p) => Wal::open(with_ext(p, "wal"))?,
+                None => Wal::temp("db")?,
+            }),
+        };
+        let keys = KeyStore::new(cfg.key_window, cfg.key_seed);
+        if let Some(p) = &cfg.path {
+            // Reload shredded windows so destroyed keys stay destroyed.
+            if let Ok(meta) = std::fs::read_to_string(with_ext(p, "meta")) {
+                let shredded = parse_meta_shredded(&meta);
+                keys.mark_shredded(&shredded);
+            }
+        }
+        Ok(Db {
+            cfg,
+            clock,
+            pool,
+            catalog: Catalog::new(),
+            wal,
+            keys,
+            txs: TxManager::new(),
+            sched: DegradationScheduler::new(),
+            stats: DbStats::default(),
+            meta_lock: Mutex::new(()),
+        })
+    }
+
+    pub fn config(&self) -> &DbConfig {
+        &self.cfg
+    }
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+    pub fn now(&self) -> Timestamp {
+        self.clock.now()
+    }
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+    pub fn stats(&self) -> &DbStats {
+        &self.stats
+    }
+    pub fn scheduler(&self) -> &DegradationScheduler {
+        &self.sched
+    }
+    pub fn tx_manager(&self) -> &TxManager {
+        &self.txs
+    }
+    pub fn wal(&self) -> Option<&Wal> {
+        self.wal.as_ref()
+    }
+    pub fn keystore(&self) -> &KeyStore {
+        &self.keys
+    }
+    pub fn buffer_pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Create a table.
+    pub fn create_table(&self, schema: TableSchema) -> Result<Arc<Table>> {
+        self.catalog
+            .create_table(schema, self.pool.clone(), self.cfg.secure)
+    }
+
+    fn log(&self, rec: &LogRecord) -> Result<()> {
+        if let Some(wal) = &self.wal {
+            wal.append(rec)?;
+        }
+        Ok(())
+    }
+
+    fn log_sync(&self) -> Result<()> {
+        if let Some(wal) = &self.wal {
+            wal.sync()?;
+        }
+        Ok(())
+    }
+
+    fn payload(&self, bytes: &[u8], now: Timestamp) -> Result<Payload> {
+        match self.cfg.wal_mode {
+            WalMode::Sealed => Payload::seal(&self.keys, now, bytes),
+            _ => Ok(Payload::Plain(bytes.to_vec())),
+        }
+    }
+
+    /// Insert a row (auto-commit). Degradable values must be at the most
+    /// accurate domain state; they are stored at their LCP's first-stage
+    /// level and their first transitions are armed.
+    pub fn insert(&self, table_name: &str, row: &[Value]) -> Result<TupleId> {
+        let table = self.catalog.get(table_name)?;
+        table.schema().validate_insert(row)?;
+        let now = self.now();
+        let tx = self.txs.begin();
+        tx.lock(Resource::Table(table.id()), LockMode::IntentionExclusive)?;
+        let tid = table.insert_physical(now, row)?;
+        tx.lock(Resource::Tuple(table.id(), tid), LockMode::Exclusive)?;
+        // WAL: the logged image is the *stored* tuple (already generalized
+        // to the first stage level), so a coarse-ingest table never logs
+        // the accurate form at all.
+        let stored = table.get(tid)?;
+        let bytes = encode_stored_raw(stored.insert_ts, &stored.stages, &stored.row);
+        self.log(&LogRecord::Begin { tx: tx.id(), at: now })?;
+        self.log(&LogRecord::Insert {
+            tx: tx.id(),
+            table: table.id(),
+            tid,
+            row: self.payload(&bytes, now)?,
+            at: now,
+        })?;
+        self.log(&LogRecord::Commit { tx: tx.id(), at: now })?;
+        self.log_sync()?;
+        tx.commit()?;
+        self.arm_transitions(&table, tid, &stored);
+        self.stats.inserts.fetch_add(1, Ordering::Relaxed);
+        Ok(tid)
+    }
+
+    /// Arm the next pending transition for every degradable attribute of a
+    /// tuple, from its stored stage bytes.
+    fn arm_transitions(&self, table: &Table, tid: TupleId, stored: &StoredTuple) {
+        let deg_cols = table.schema().degradable_columns();
+        for (slot, cid) in deg_cols.iter().enumerate() {
+            let Some(stage) = stored.stages.get(slot).copied().flatten() else {
+                continue;
+            };
+            let d = table.schema().column(*cid).degrader().expect("degradable");
+            if let Some(due) = d.due_time(stored.insert_ts, stage as usize) {
+                self.sched.schedule(PendingTransition {
+                    due,
+                    table: table.id(),
+                    tid,
+                    deg_slot: slot as u8,
+                    from_stage: stage,
+                });
+            }
+        }
+    }
+
+    /// Delete one tuple under a user transaction (executor path). Removes
+    /// both stable and degradable attributes, physically.
+    pub fn delete_tuple(&self, table: &Table, tid: TupleId) -> Result<()> {
+        let now = self.now();
+        let tx = self.txs.begin();
+        tx.lock(Resource::Table(table.id()), LockMode::IntentionExclusive)?;
+        tx.lock(Resource::Tuple(table.id(), tid), LockMode::Exclusive)?;
+        if !table.exists(tid) {
+            return Err(Error::NotFound(format!("tuple {tid}")));
+        }
+        table.expunge_physical(tid)?;
+        self.log(&LogRecord::Begin { tx: tx.id(), at: now })?;
+        self.log(&LogRecord::Delete {
+            tx: tx.id(),
+            table: table.id(),
+            tid,
+            at: now,
+        })?;
+        self.log(&LogRecord::Commit { tx: tx.id(), at: now })?;
+        self.log_sync()?;
+        tx.commit()?;
+        self.stats.user_deletes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Update a stable column of one tuple (degradable columns are
+    /// immutable after commit, per Section II).
+    pub fn update_stable(
+        &self,
+        table: &Table,
+        tid: TupleId,
+        cid: ColumnId,
+        new_value: Value,
+    ) -> Result<()> {
+        let col = table.schema().column(cid);
+        if col.is_degradable() {
+            return Err(Error::Policy(format!(
+                "column {} is degradable: updates are not granted after tuple creation",
+                col.name
+            )));
+        }
+        if !new_value.conforms_to(col.ty) {
+            return Err(Error::Schema(format!(
+                "column {} is {}, got {new_value}",
+                col.name, col.ty
+            )));
+        }
+        let now = self.now();
+        let tx = self.txs.begin();
+        tx.lock(Resource::Table(table.id()), LockMode::IntentionExclusive)?;
+        tx.lock(Resource::Tuple(table.id(), tid), LockMode::Exclusive)?;
+        let mut tuple = table.get(tid)?;
+        let old_value = tuple.row[cid.0 as usize].clone();
+        tuple.row[cid.0 as usize] = new_value.clone();
+        table.rewrite_physical(tid, &tuple, &[], &[(cid, old_value, new_value)])?;
+        let bytes = encode_stored_raw(tuple.insert_ts, &tuple.stages, &tuple.row);
+        self.log(&LogRecord::Begin { tx: tx.id(), at: now })?;
+        self.log(&LogRecord::Update {
+            tx: tx.id(),
+            table: table.id(),
+            tid,
+            row: self.payload(&bytes, now)?,
+            at: now,
+        })?;
+        self.log(&LogRecord::Commit { tx: tx.id(), at: now })?;
+        self.log_sync()?;
+        tx.commit()?;
+        Ok(())
+    }
+
+    /// Read one tuple under a shared lock (reader path).
+    pub fn read_tuple(&self, table: &Table, tid: TupleId) -> Result<StoredTuple> {
+        let tx = self.txs.begin();
+        tx.lock(Resource::Table(table.id()), LockMode::IntentionShared)?;
+        tx.lock(Resource::Tuple(table.id(), tid), LockMode::Shared)?;
+        let t = table.get(tid)?;
+        tx.commit()?;
+        Ok(t)
+    }
+
+    /// Execute every degradation transition due at the current clock time.
+    /// Returns when the queue has no due work left.
+    pub fn pump_degradation(&self) -> Result<PumpReport> {
+        let mut total = PumpReport::default();
+        loop {
+            let r = self.pump_one_batch()?;
+            total.fired += r.fired;
+            total.expunged += r.expunged;
+            total.deferred += r.deferred;
+            if r.fired == 0 {
+                return Ok(total);
+            }
+        }
+    }
+
+    /// Execute at most one batch of due transitions as a single system
+    /// transaction.
+    pub fn pump_one_batch(&self) -> Result<PumpReport> {
+        let now = self.now();
+        let batch = self.sched.due_batch(now, self.cfg.batch_max);
+        if batch.is_empty() {
+            return Ok(PumpReport::default());
+        }
+        let mut report = PumpReport::default();
+        let tx = self.txs.begin_system();
+        let mut logged_begin = false;
+        for pt in batch {
+            match self.apply_transition(&tx, &pt, now, &mut logged_begin) {
+                Ok(Applied::Stepped) => {
+                    report.fired += 1;
+                    self.sched.record_fired(pt.due, now);
+                    self.stats.degrade_steps.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(Applied::Expunged) => {
+                    report.fired += 1;
+                    report.expunged += 1;
+                    self.sched.record_fired(pt.due, now);
+                    self.stats.degrade_steps.fetch_add(1, Ordering::Relaxed);
+                    self.stats.expunges.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(Applied::Skipped) => {}
+                Err(e) if e.is_retryable() => {
+                    // A reader/writer holds the tuple: defer, retry next pump.
+                    self.sched.schedule(pt);
+                    report.deferred += 1;
+                    self.stats
+                        .degrader_lock_retries
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if logged_begin {
+            self.log(&LogRecord::Commit { tx: tx.id(), at: now })?;
+            self.log_sync()?;
+        }
+        tx.commit()?;
+        Ok(report)
+    }
+
+    fn apply_transition(
+        &self,
+        tx: &TxHandle,
+        pt: &PendingTransition,
+        now: Timestamp,
+        logged_begin: &mut bool,
+    ) -> Result<Applied> {
+        let table = self.catalog.get_by_id(pt.table)?;
+        tx.lock(Resource::Table(table.id()), LockMode::IntentionExclusive)?;
+        tx.lock(Resource::Tuple(table.id(), pt.tid), LockMode::Exclusive)?;
+        if !table.exists(pt.tid) {
+            return Ok(Applied::Skipped); // deleted meanwhile
+        }
+        let mut tuple = table.get(pt.tid)?;
+        let deg_cols = table.schema().degradable_columns();
+        let slot = pt.deg_slot as usize;
+        let cid = deg_cols[slot];
+        match tuple.stages.get(slot).copied().flatten() {
+            Some(stage) if stage == pt.from_stage => {}
+            _ => return Ok(Applied::Skipped), // already advanced / removed
+        }
+        let d = table.schema().column(cid).degrader().expect("degradable");
+        let stages = d.lcp().stages();
+        let old_level = stages[pt.from_stage as usize].level;
+        let old_value = tuple.row[cid.0 as usize].clone();
+        let mut ensure_begin = |db: &Db| -> Result<()> {
+            if !*logged_begin {
+                db.log(&LogRecord::Begin { tx: tx.id(), at: now })?;
+                *logged_begin = true;
+            }
+            Ok(())
+        };
+        if let Some(next) = stages.get(pt.from_stage as usize + 1) {
+            // Degrade one step.
+            let new_value = d.hierarchy().generalize(&old_value, next.level)?;
+            tuple.stages[slot] = Some(pt.from_stage + 1);
+            tuple.row[cid.0 as usize] = new_value.clone();
+            table.rewrite_physical(
+                pt.tid,
+                &tuple,
+                &[(cid, old_level, old_value, Some((next.level, new_value)))],
+                &[],
+            )?;
+            ensure_begin(self)?;
+            let bytes = encode_stored_raw(tuple.insert_ts, &tuple.stages, &tuple.row);
+            self.log(&LogRecord::Degrade {
+                tx: tx.id(),
+                table: table.id(),
+                tid: pt.tid,
+                column: cid,
+                to_level: Some(next.level),
+                row: self.payload(&bytes, now)?,
+                at: now,
+            })?;
+            // Arm the next transition of this attribute.
+            if let Some(due) = d.due_time(tuple.insert_ts, pt.from_stage as usize + 1) {
+                self.sched.schedule(PendingTransition {
+                    due,
+                    table: table.id(),
+                    tid: pt.tid,
+                    deg_slot: pt.deg_slot,
+                    from_stage: pt.from_stage + 1,
+                });
+            }
+            Ok(Applied::Stepped)
+        } else {
+            // Final transition: remove the attribute value.
+            tuple.stages[slot] = None;
+            tuple.row[cid.0 as usize] = Value::Removed;
+            if tuple.fully_degraded() {
+                // Whole tuple leaves the database (stable attributes too).
+                table.expunge_physical(pt.tid)?;
+                ensure_begin(self)?;
+                self.log(&LogRecord::Expunge {
+                    tx: tx.id(),
+                    table: table.id(),
+                    tid: pt.tid,
+                    at: now,
+                })?;
+                Ok(Applied::Expunged)
+            } else {
+                table.rewrite_physical(
+                    pt.tid,
+                    &tuple,
+                    &[(cid, old_level, old_value, None)],
+                    &[],
+                )?;
+                ensure_begin(self)?;
+                let bytes = encode_stored_raw(tuple.insert_ts, &tuple.stages, &tuple.row);
+                self.log(&LogRecord::Degrade {
+                    tx: tx.id(),
+                    table: table.id(),
+                    tid: pt.tid,
+                    column: cid,
+                    to_level: None,
+                    row: self.payload(&bytes, now)?,
+                    at: now,
+                })?;
+                Ok(Applied::Stepped)
+            }
+        }
+    }
+
+    /// Checkpoint: flush → log Checkpoint → persist meta → truncate log →
+    /// shred key windows before the checkpoint.
+    pub fn checkpoint(&self) -> Result<()> {
+        let _guard = self.meta_lock.lock();
+        let now = self.now();
+        self.pool.flush_all()?;
+        let ckpt_lsn = if let Some(wal) = &self.wal {
+            let lsn = wal.append(&LogRecord::Checkpoint { at: now })?;
+            wal.sync()?;
+            Some(lsn)
+        } else {
+            None
+        };
+        // Persist catalog meta (heap page lists + shredded windows).
+        let shredded = self.keys.shred_before(now);
+        let _ = shredded;
+        if let Some(p) = &self.cfg.path {
+            let meta = self.render_meta();
+            std::fs::write(with_ext(p, "meta"), meta)?;
+        }
+        if let (Some(wal), Some(lsn)) = (&self.wal, ckpt_lsn) {
+            wal.truncate_before(lsn)?;
+        }
+        self.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn render_meta(&self) -> String {
+        let mut out = String::new();
+        let shredded: Vec<String> = self
+            .keys
+            .export_shredded()
+            .iter()
+            .map(|w| w.0.to_string())
+            .collect();
+        out.push_str(&format!("shredded {}\n", shredded.join(",")));
+        for table in self.catalog.all_tables() {
+            let pages: Vec<String> = table
+                .heap()
+                .page_ids()
+                .iter()
+                .map(|p| p.0.to_string())
+                .collect();
+            out.push_str(&format!(
+                "table {} {} pages {}\n",
+                table.schema().name,
+                table.id().0,
+                pages.join(",")
+            ));
+        }
+        out
+    }
+
+    /// Reopen a crashed database: reattach heaps from the checkpoint meta,
+    /// rebuild indexes, redo the committed WAL suffix, re-arm the scheduler.
+    /// `schemas` must match the schemas at crash time (catalog DDL
+    /// persistence is out of the reproduced scope — see DESIGN.md).
+    pub fn recover_with_schemas(
+        cfg: DbConfig,
+        clock: SharedClock,
+        schemas: Vec<TableSchema>,
+    ) -> Result<Db> {
+        let path = cfg
+            .path
+            .clone()
+            .ok_or_else(|| Error::Unsupported("recovery needs a persistent path".into()))?;
+        let db = Db::open(cfg, clock)?;
+        // 1. Reattach tables from meta.
+        let meta = std::fs::read_to_string(with_ext(&path, "meta")).unwrap_or_default();
+        let table_pages = parse_meta_tables(&meta);
+        for schema in schemas {
+            let key = schema.name.to_ascii_lowercase();
+            match table_pages.get(&key) {
+                Some((id, pages)) => {
+                    let t = db.catalog.attach_table(
+                        TableId(*id),
+                        schema,
+                        db.pool.clone(),
+                        pages.iter().map(|p| instant_common::PageId(*p)).collect(),
+                        db.cfg.secure,
+                    )?;
+                    t.rebuild_indexes()?;
+                }
+                None => {
+                    // Table never checkpointed: starts empty, rebuilt from log.
+                    db.create_table(schema)?;
+                }
+            }
+        }
+        // 2. Redo the committed suffix.
+        if let Some(wal) = &db.wal {
+            let plan = recovery::recover(wal, &db.keys)?;
+            let mut remap: HashMap<(TableId, TupleId), TupleId> = HashMap::new();
+            for op in &plan.ops {
+                db.apply_recovery_op(op, &mut remap)?;
+            }
+        }
+        // 3. Re-arm the scheduler from stored stage bytes.
+        db.rearm_all()?;
+        Ok(db)
+    }
+
+    fn apply_recovery_op(
+        &self,
+        op: &Op,
+        remap: &mut HashMap<(TableId, TupleId), TupleId>,
+    ) -> Result<()> {
+        let table = self.catalog.get_by_id(op.table())?;
+        let mapped = |remap: &HashMap<(TableId, TupleId), TupleId>, tid: TupleId| {
+            remap.get(&(table.id(), tid)).copied().unwrap_or(tid)
+        };
+        match op {
+            Op::Insert { tid, row, at, .. } => {
+                // Idempotence: if the logged tid already holds a tuple with
+                // the same insert timestamp, the page flush beat the crash.
+                if table.exists(*tid) {
+                    if let Ok(existing) = table.get(*tid) {
+                        if existing.insert_ts == *at {
+                            return Ok(());
+                        }
+                    }
+                }
+                let new_tid = table.insert_raw_stored(row)?;
+                if new_tid != *tid {
+                    remap.insert((table.id(), *tid), new_tid);
+                }
+            }
+            Op::Update { tid, row, .. } | Op::Degrade { tid, row, .. } => {
+                let target = mapped(remap, *tid);
+                let new = crate::tuple::decode_stored(row)?;
+                if table.exists(target) {
+                    table.replace_stored(target, &new)?;
+                } else {
+                    // Insert was lost/unrecoverable; the degraded image
+                    // itself recreates the tuple at its coarser state.
+                    let new_tid = table.insert_raw_stored(row)?;
+                    remap.insert((table.id(), *tid), new_tid);
+                }
+            }
+            Op::Delete { tid, .. } | Op::Expunge { tid, .. } => {
+                let target = mapped(remap, *tid);
+                if table.exists(target) {
+                    table.expunge_physical(target)?;
+                }
+            }
+            Op::Unrecoverable { tid, .. } => {
+                // The image is cryptographically erased. If a stale tuple
+                // sits at that tid from the checkpoint, degradation had
+                // already superseded it — drop it rather than resurrect.
+                let target = mapped(remap, *tid);
+                if table.exists(target) {
+                    table.expunge_physical(target)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-arm pending transitions for every live tuple (post-recovery).
+    pub fn rearm_all(&self) -> Result<()> {
+        self.sched.clear();
+        for table in self.catalog.all_tables() {
+            for (tid, stored) in table.scan()? {
+                self.arm_transitions(&table, tid, &stored);
+            }
+        }
+        Ok(())
+    }
+
+    /// Vacuum every table; returns total bytes reclaimed.
+    pub fn vacuum(&self) -> Result<usize> {
+        let mut total = 0;
+        for table in self.catalog.all_tables() {
+            total += table.vacuum()?;
+        }
+        Ok(total)
+    }
+
+    /// Raw images of data file + WAL (the forensic attacker's view).
+    pub fn forensic_images(&self) -> Result<Vec<(String, Vec<u8>)>> {
+        let mut out = Vec::new();
+        self.pool.flush_all()?;
+        out.push(("heap".to_string(), self.pool.disk().raw_image()?));
+        if let Some(wal) = &self.wal {
+            out.push(("wal".to_string(), wal.raw_image()?));
+        }
+        Ok(out)
+    }
+}
+
+enum Applied {
+    Stepped,
+    Expunged,
+    Skipped,
+}
+
+fn with_ext(p: &std::path::Path, ext: &str) -> PathBuf {
+    let mut s = p.as_os_str().to_os_string();
+    s.push(".");
+    s.push(ext);
+    PathBuf::from(s)
+}
+
+fn parse_meta_shredded(meta: &str) -> Vec<instant_wal::keystore::WindowId> {
+    for line in meta.lines() {
+        if let Some(rest) = line.strip_prefix("shredded ") {
+            return rest
+                .split(',')
+                .filter_map(|s| s.trim().parse::<u64>().ok())
+                .map(instant_wal::keystore::WindowId)
+                .collect();
+        }
+    }
+    Vec::new()
+}
+
+fn parse_meta_tables(meta: &str) -> HashMap<String, (u32, Vec<u32>)> {
+    let mut out = HashMap::new();
+    for line in meta.lines() {
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("table") {
+            continue;
+        }
+        let (Some(name), Some(id), Some(kw), Some(pages)) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        if kw != "pages" {
+            continue;
+        }
+        let Ok(id) = id.parse::<u32>() else { continue };
+        let pages: Vec<u32> = pages
+            .split(',')
+            .filter_map(|s| s.trim().parse::<u32>().ok())
+            .collect();
+        out.insert(name.to_ascii_lowercase(), (id, pages));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use instant_common::{DataType, LevelId, MockClock};
+    use instant_lcp::gtree::location_tree_fig1;
+    use instant_lcp::hierarchy::Hierarchy;
+    use instant_lcp::AttributeLcp;
+
+    fn schema() -> TableSchema {
+        let gt: Arc<dyn Hierarchy> = Arc::new(location_tree_fig1());
+        TableSchema::new(
+            "person",
+            vec![
+                Column::stable("id", DataType::Int).with_index(),
+                Column::degradable("location", DataType::Str, gt, AttributeLcp::fig2_location())
+                    .unwrap()
+                    .with_index(),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn fresh(clock: &MockClock) -> Db {
+        let db = Db::open(DbConfig::default(), clock.shared()).unwrap();
+        db.create_table(schema()).unwrap();
+        db
+    }
+
+    fn row(id: i64, addr: &str) -> Vec<Value> {
+        vec![Value::Int(id), Value::Str(addr.into())]
+    }
+
+    #[test]
+    fn insert_arms_first_transition() {
+        let clock = MockClock::new();
+        let db = fresh(&clock);
+        db.insert("person", &row(1, "4 rue Jussieu")).unwrap();
+        assert_eq!(db.scheduler().len(), 1);
+        assert_eq!(
+            db.scheduler().next_due(),
+            Some(Timestamp::ZERO + Duration::hours(1))
+        );
+        assert_eq!(db.stats().inserts.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn degradation_follows_fig2() {
+        let clock = MockClock::new();
+        let db = fresh(&clock);
+        let table = db.catalog().get("person").unwrap();
+        let tid = db.insert("person", &row(1, "4 rue Jussieu")).unwrap();
+
+        clock.advance(Duration::hours(2));
+        let r = db.pump_degradation().unwrap();
+        assert_eq!(r.fired, 1);
+        assert_eq!(table.get(tid).unwrap().row[1], Value::Str("Paris".into()));
+
+        clock.advance(Duration::days(2));
+        db.pump_degradation().unwrap();
+        assert_eq!(
+            table.get(tid).unwrap().row[1],
+            Value::Str("Ile-de-France".into())
+        );
+
+        clock.advance(Duration::months(1));
+        db.pump_degradation().unwrap();
+        assert_eq!(table.get(tid).unwrap().row[1], Value::Str("France".into()));
+
+        // Final month: the whole tuple (stable id included) is expunged.
+        clock.advance(Duration::months(2));
+        let r = db.pump_degradation().unwrap();
+        assert_eq!(r.expunged, 1);
+        assert!(!table.exists(tid));
+        assert_eq!(table.live_count().unwrap(), 0);
+        assert!(db.scheduler().is_empty());
+    }
+
+    #[test]
+    fn pump_without_due_work_is_noop() {
+        let clock = MockClock::new();
+        let db = fresh(&clock);
+        db.insert("person", &row(1, "4 rue Jussieu")).unwrap();
+        let r = db.pump_degradation().unwrap();
+        assert_eq!(r, PumpReport::default());
+    }
+
+    #[test]
+    fn reader_defers_degrader() {
+        let clock = MockClock::new();
+        let db = fresh(&clock);
+        let table = db.catalog().get("person").unwrap();
+        let tid = db.insert("person", &row(1, "4 rue Jussieu")).unwrap();
+        clock.advance(Duration::hours(2));
+        // An old reader holds a shared lock on the tuple.
+        let reader = db.tx_manager().begin();
+        reader
+            .lock(Resource::Tuple(table.id(), tid), LockMode::Shared)
+            .unwrap();
+        let r = db.pump_one_batch().unwrap();
+        assert_eq!(r.deferred, 1);
+        assert_eq!(r.fired, 0);
+        // Value unchanged while the reader is active.
+        assert_eq!(
+            table.get(tid).unwrap().row[1],
+            Value::Str("4 rue Jussieu".into())
+        );
+        reader.commit().unwrap();
+        let r2 = db.pump_degradation().unwrap();
+        assert_eq!(r2.fired, 1);
+        assert_eq!(
+            db.stats().degrader_lock_retries.load(Ordering::Relaxed),
+            1
+        );
+    }
+
+    #[test]
+    fn user_delete_cancels_pending_degradation() {
+        let clock = MockClock::new();
+        let db = fresh(&clock);
+        let table = db.catalog().get("person").unwrap();
+        let tid = db.insert("person", &row(1, "4 rue Jussieu")).unwrap();
+        db.delete_tuple(&table, tid).unwrap();
+        clock.advance(Duration::days(400));
+        let r = db.pump_degradation().unwrap();
+        assert_eq!(r.fired, 0, "transition on deleted tuple is skipped");
+    }
+
+    #[test]
+    fn stable_update_allowed_degradable_rejected() {
+        let clock = MockClock::new();
+        let db = fresh(&clock);
+        let table = db.catalog().get("person").unwrap();
+        let tid = db.insert("person", &row(1, "4 rue Jussieu")).unwrap();
+        db.update_stable(&table, tid, ColumnId(0), Value::Int(99))
+            .unwrap();
+        assert_eq!(table.get(tid).unwrap().row[0], Value::Int(99));
+        let err = db
+            .update_stable(&table, tid, ColumnId(1), Value::Str("Paris".into()))
+            .unwrap_err();
+        assert!(matches!(err, Error::Policy(_)));
+    }
+
+    #[test]
+    fn wal_records_are_written_and_sealed() {
+        let clock = MockClock::new();
+        let db = fresh(&clock);
+        db.insert("person", &row(1, "4 rue Jussieu")).unwrap();
+        let records = db.wal().unwrap().iterate().unwrap();
+        assert_eq!(records.len(), 3); // Begin, Insert, Commit
+        match &records[1].1 {
+            LogRecord::Insert { row, .. } => assert!(row.is_sealed()),
+            other => panic!("expected Insert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plain_wal_leaks_sealed_wal_hides() {
+        let clock = MockClock::new();
+        let mk = |mode| {
+            let db = Db::open(
+                DbConfig {
+                    wal_mode: mode,
+                    ..DbConfig::default()
+                },
+                clock.shared(),
+            )
+            .unwrap();
+            db.create_table(schema()).unwrap();
+            db.insert("person", &row(1, "4 rue Jussieu")).unwrap();
+            let img = db.wal().unwrap().raw_image().unwrap();
+            img.windows(b"4 rue Jussieu".len())
+                .any(|w| w == b"4 rue Jussieu")
+        };
+        assert!(mk(WalMode::Plain), "plain WAL must contain the address");
+        assert!(!mk(WalMode::Sealed), "sealed WAL must not");
+    }
+
+    #[test]
+    fn checkpoint_truncates_and_shreds() {
+        let clock = MockClock::new();
+        let db = fresh(&clock);
+        db.insert("person", &row(1, "4 rue Jussieu")).unwrap();
+        clock.advance(Duration::hours(3));
+        db.checkpoint().unwrap();
+        // Everything before the checkpoint is physically gone; the
+        // checkpoint record itself is the new log head.
+        let records = db.wal().unwrap().iterate().unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(matches!(records[0].1, LogRecord::Checkpoint { .. }));
+        // Keys for pre-checkpoint windows are gone.
+        assert!(db.keystore().shredded_count() >= 1);
+        assert_eq!(db.stats().checkpoints.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn exact_level_index_follows_degradation() {
+        let clock = MockClock::new();
+        let db = fresh(&clock);
+        let table = db.catalog().get("person").unwrap();
+        for i in 0..10 {
+            db.insert("person", &row(i, "4 rue Jussieu")).unwrap();
+        }
+        assert_eq!(
+            table.index_occupancy(ColumnId(1)).unwrap(),
+            vec![10, 0, 0, 0]
+        );
+        clock.advance(Duration::hours(2));
+        db.pump_degradation().unwrap();
+        assert_eq!(
+            table.index_occupancy(ColumnId(1)).unwrap(),
+            vec![0, 10, 0, 0]
+        );
+        assert_eq!(
+            table
+                .index_probe_deg(ColumnId(1), LevelId(1), &Value::Str("Paris".into()))
+                .unwrap()
+                .len(),
+            10
+        );
+    }
+
+    #[test]
+    fn recovery_restores_committed_state() {
+        let dir = std::env::temp_dir().join(format!("instantdb-rec-{}", std::process::id()));
+        let _ = std::fs::remove_file(with_ext(&dir, "idb"));
+        let _ = std::fs::remove_file(with_ext(&dir, "wal"));
+        let _ = std::fs::remove_file(with_ext(&dir, "meta"));
+        let clock = MockClock::new();
+        let cfg = DbConfig {
+            path: Some(dir.clone()),
+            ..DbConfig::default()
+        };
+        {
+            let db = Db::open(cfg.clone(), clock.shared()).unwrap();
+            db.create_table(schema()).unwrap();
+            db.insert("person", &row(1, "4 rue Jussieu")).unwrap();
+            db.checkpoint().unwrap();
+            db.insert("person", &row(2, "Drienerlolaan 5")).unwrap();
+            // Crash: drop without checkpoint — dirty pages may be lost.
+            drop(db);
+        }
+        clock.advance(Duration::minutes(1));
+        let db = Db::recover_with_schemas(cfg, clock.shared(), vec![schema()]).unwrap();
+        let table = db.catalog().get("person").unwrap();
+        assert_eq!(table.live_count().unwrap(), 2, "both committed inserts live");
+        // Scheduler re-armed for both tuples.
+        assert_eq!(db.scheduler().len(), 2);
+        for f in ["idb", "wal", "meta"] {
+            let _ = std::fs::remove_file(with_ext(&dir, f));
+        }
+    }
+
+    #[test]
+    fn recovery_does_not_resurrect_degraded_state() {
+        let dir =
+            std::env::temp_dir().join(format!("instantdb-rec2-{}", std::process::id()));
+        for f in ["idb", "wal", "meta"] {
+            let _ = std::fs::remove_file(with_ext(&dir, f));
+        }
+        let clock = MockClock::new();
+        let cfg = DbConfig {
+            path: Some(dir.clone()),
+            ..DbConfig::default()
+        };
+        let tid;
+        {
+            let db = Db::open(cfg.clone(), clock.shared()).unwrap();
+            db.create_table(schema()).unwrap();
+            tid = db.insert("person", &row(1, "4 rue Jussieu")).unwrap();
+            clock.advance(Duration::hours(2));
+            db.pump_degradation().unwrap(); // → Paris
+            drop(db); // crash
+        }
+        let db = Db::recover_with_schemas(cfg, clock.shared(), vec![schema()]).unwrap();
+        let table = db.catalog().get("person").unwrap();
+        let tuples = table.scan().unwrap();
+        assert_eq!(tuples.len(), 1);
+        let (new_tid, t) = &tuples[0];
+        assert_eq!(
+            t.row[1],
+            Value::Str("Paris".into()),
+            "recovered at the degraded state, never the accurate one"
+        );
+        assert_eq!(t.stages[0], Some(1));
+        let _ = (tid, new_tid);
+        for f in ["idb", "wal", "meta"] {
+            let _ = std::fs::remove_file(with_ext(&dir, f));
+        }
+    }
+
+    #[test]
+    fn forensic_secure_db_holds_no_preimage_after_degrade_and_checkpoint() {
+        let clock = MockClock::new();
+        let db = fresh(&clock);
+        db.insert("person", &row(1, "Drienerlolaan 5")).unwrap();
+        clock.advance(Duration::hours(2));
+        db.pump_degradation().unwrap();
+        db.checkpoint().unwrap(); // truncates WAL + shreds keys
+        let needle = b"Drienerlolaan 5";
+        for (name, img) in db.forensic_images().unwrap() {
+            assert!(
+                !img.windows(needle.len()).any(|w| w == needle),
+                "accurate address recoverable from {name} image"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_pump_respects_batch_max() {
+        let clock = MockClock::new();
+        let db = Db::open(
+            DbConfig {
+                batch_max: 3,
+                ..DbConfig::default()
+            },
+            clock.shared(),
+        )
+        .unwrap();
+        db.create_table(schema()).unwrap();
+        for i in 0..10 {
+            db.insert("person", &row(i, "4 rue Jussieu")).unwrap();
+        }
+        clock.advance(Duration::hours(2));
+        let r1 = db.pump_one_batch().unwrap();
+        assert_eq!(r1.fired, 3);
+        let total = db.pump_degradation().unwrap();
+        assert_eq!(total.fired, 7);
+    }
+
+    #[test]
+    fn lateness_recorded() {
+        let clock = MockClock::new();
+        let db = fresh(&clock);
+        db.insert("person", &row(1, "4 rue Jussieu")).unwrap();
+        // Pump 30 minutes late.
+        clock.advance(Duration::hours(1) + Duration::minutes(30));
+        db.pump_degradation().unwrap();
+        let h = db.scheduler().lateness();
+        assert_eq!(h.count(), 1);
+        assert!(h.max() >= Duration::minutes(30));
+    }
+}

@@ -1,0 +1,44 @@
+//! # instant-core
+//!
+//! The InstantDB engine: a single-node relational DBMS whose defining
+//! feature is **enforced, timely, irreversible degradation** of sensitive
+//! attributes according to Life Cycle Policies (ICDE 2008, Section II),
+//! built on the substrates of the sibling crates:
+//!
+//! * [`schema`] / [`tuple`](crate::tuple) — tables mix *stable* and *degradable* columns;
+//!   stored tuples carry their insert time and the current accuracy level
+//!   of every degradable attribute.
+//! * [`catalog`] — catalog and physical tables: a heap file (capacity-
+//!   reserving slots, secure overwrite) plus a degradation-aware
+//!   multi-level index per indexed column.
+//! * [`scheduler`] — the degradation engine: a due-time priority queue of
+//!   pending transitions, pumped by [`db::Db::pump_degradation`], each batch
+//!   running as a system transaction (2PL, WAL-logged, secure rewrite).
+//!   Lateness statistics feed experiment E7.
+//! * [`query`] — the SQL front end: `DECLARE PURPOSE … SET ACCURACY LEVEL`,
+//!   `SELECT`/`INSERT`/`DELETE` with the paper's `σ_P,k` / `π_*,k`
+//!   semantics (only subsets whose state can compute level `k` participate;
+//!   values are degraded with `f_k` before predicate evaluation).
+//! * [`db`] — the façade tying storage, WAL (plain / sealed / off), key
+//!   shredding, checkpointing, recovery and the clock together.
+//! * [`baseline`] — the paper's comparison points: no protection, limited
+//!   retention (all-or-nothing TTL), static anonymization at ingest.
+//! * [`metrics`] — the exposure metric (residual information summed over
+//!   the store) behind the privacy/security experiments E4–E6.
+//! * [`ext`] — Section IV future-work features: event-triggered
+//!   transitions, predicate-conditioned degradation, per-tuple (user-
+//!   defined) LCPs, and relaxed query semantics.
+
+pub mod baseline;
+pub mod catalog;
+pub mod db;
+pub mod ext;
+pub mod metrics;
+pub mod query;
+pub mod scheduler;
+pub mod schema;
+pub mod tuple;
+
+pub use db::{Db, DbConfig, WalMode};
+pub use query::session::Session;
+pub use schema::{Column, ColumnKind, TableSchema};

@@ -1,0 +1,252 @@
+//! Exposure metrics — the measurement instrument behind the paper's
+//! claim 1 ("the amount of accurate personal information exposed to
+//! disclosure … is always less than with a traditional data retention
+//! principle").
+//!
+//! The exposure of one degradable value stored at accuracy level `l` is its
+//! *residual information* in `[0,1]` (see
+//! [`instant_lcp::hierarchy::Hierarchy::residual_info`]); a snapshot's
+//! exposure is the sum over every live degradable value. An attacker who
+//! steals the store at time `t` obtains exactly this much information, so
+//! exposure-over-time curves (experiment E4) compare protection schemes
+//! directly.
+
+use instant_common::{Result, Value};
+
+use crate::catalog::Table;
+use crate::db::Db;
+
+/// Snapshot exposure of one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExposureReport {
+    pub table: String,
+    /// Live tuples.
+    pub tuples: usize,
+    /// Σ residual information over all degradable values.
+    pub total_exposure: f64,
+    /// Number of degradable values at full accuracy (level of stage 0).
+    pub accurate_values: usize,
+    /// Number of degradable values in intermediate (degraded) states.
+    pub degraded_values: usize,
+    /// Number of removed degradable values still inside live tuples.
+    pub removed_values: usize,
+    /// Histogram: count of degradable values per LCP stage index
+    /// (last bucket = removed).
+    pub stage_histogram: Vec<usize>,
+}
+
+impl ExposureReport {
+    /// Mean exposure per live degradable value (0 when empty).
+    pub fn mean_exposure(&self) -> f64 {
+        let n = self.accurate_values + self.degraded_values + self.removed_values;
+        if n == 0 {
+            0.0
+        } else {
+            self.total_exposure / n as f64
+        }
+    }
+}
+
+/// Compute the exposure snapshot of `table` at its current contents.
+pub fn exposure_of_table(table: &Table) -> Result<ExposureReport> {
+    let schema = table.schema();
+    let deg_cols = schema.degradable_columns();
+    let max_stages = deg_cols
+        .iter()
+        .map(|c| {
+            schema
+                .column(*c)
+                .degrader()
+                .expect("degradable")
+                .lcp()
+                .num_stages()
+        })
+        .max()
+        .unwrap_or(0);
+    let mut report = ExposureReport {
+        table: schema.name.clone(),
+        tuples: 0,
+        total_exposure: 0.0,
+        accurate_values: 0,
+        degraded_values: 0,
+        removed_values: 0,
+        stage_histogram: vec![0; max_stages + 1],
+    };
+    for (_tid, tuple) in table.scan()? {
+        report.tuples += 1;
+        for (slot, cid) in deg_cols.iter().enumerate() {
+            let d = schema.column(*cid).degrader().expect("degradable");
+            match tuple.stages.get(slot).copied().flatten() {
+                Some(stage) => {
+                    let level = d.lcp().stages()[stage as usize].level;
+                    let v: &Value = &tuple.row[cid.0 as usize];
+                    report.total_exposure += d.hierarchy().residual_info(v, level);
+                    // "Accurate" means domain level 0 — a static-anon store
+                    // whose single stage sits at a coarse level holds zero
+                    // accurate values even though all tuples are in stage 0.
+                    if level == instant_common::LevelId(0) {
+                        report.accurate_values += 1;
+                    } else {
+                        report.degraded_values += 1;
+                    }
+                    report.stage_histogram[stage as usize] += 1;
+                }
+                None => {
+                    report.removed_values += 1;
+                    if let Some(last) = report.stage_histogram.last_mut() {
+                        *last += 1;
+                    }
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Exposure across every table of a database.
+pub fn exposure_of_db(db: &Db) -> Result<Vec<ExposureReport>> {
+    db.catalog()
+        .all_tables()
+        .iter()
+        .map(|t| exposure_of_table(t))
+        .collect()
+}
+
+/// Total exposure scalar for a database (Σ over tables).
+pub fn total_exposure(db: &Db) -> Result<f64> {
+    Ok(exposure_of_db(db)?.iter().map(|r| r.total_exposure).sum())
+}
+
+/// On-disk footprint: `(heap bytes, wal bytes)`.
+pub fn storage_footprint(db: &Db) -> Result<(u64, u64)> {
+    db.buffer_pool().flush_all()?;
+    let heap = db.buffer_pool().disk().raw_image()?.len() as u64;
+    let wal = match db.wal() {
+        Some(w) => w.raw_image()?.len() as u64,
+        None => 0,
+    };
+    Ok((heap, wal))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::DbConfig;
+    use crate::schema::{Column, TableSchema};
+    use instant_common::{DataType, Duration, MockClock};
+    use instant_lcp::gtree::location_tree_fig1;
+    use instant_lcp::hierarchy::Hierarchy;
+    use instant_lcp::AttributeLcp;
+    use std::sync::Arc;
+
+    fn setup() -> (MockClock, Db) {
+        let clock = MockClock::new();
+        let db = Db::open(DbConfig::default(), clock.shared()).unwrap();
+        let gt: Arc<dyn Hierarchy> = Arc::new(location_tree_fig1());
+        db.create_table(
+            TableSchema::new(
+                "person",
+                vec![
+                    Column::stable("id", DataType::Int),
+                    Column::degradable(
+                        "location",
+                        DataType::Str,
+                        gt,
+                        AttributeLcp::fig2_location(),
+                    )
+                    .unwrap(),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        (clock, db)
+    }
+
+    #[test]
+    fn fresh_data_is_fully_exposed() {
+        let (_clock, db) = setup();
+        for i in 0..5 {
+            db.insert(
+                "person",
+                &[Value::Int(i), Value::Str("4 rue Jussieu".into())],
+            )
+            .unwrap();
+        }
+        let r = exposure_of_table(&db.catalog().get("person").unwrap()).unwrap();
+        assert_eq!(r.tuples, 5);
+        assert_eq!(r.accurate_values, 5);
+        assert_eq!(r.degraded_values + r.removed_values, 0);
+        assert!((r.total_exposure - 5.0).abs() < 1e-9);
+        assert!((r.mean_exposure() - 1.0).abs() < 1e-9);
+        assert_eq!(r.stage_histogram[0], 5);
+    }
+
+    #[test]
+    fn exposure_drops_as_data_degrades() {
+        let (clock, db) = setup();
+        for i in 0..4 {
+            db.insert(
+                "person",
+                &[Value::Int(i), Value::Str("Drienerlolaan 5".into())],
+            )
+            .unwrap();
+        }
+        let before = total_exposure(&db).unwrap();
+        clock.advance(Duration::hours(2));
+        db.pump_degradation().unwrap();
+        let after_city = total_exposure(&db).unwrap();
+        // In the small Fig-1 tree "Enschede" has a single address below it,
+        // so the city pins down the address exactly: residual information
+        // is unchanged at the city step (the metric is honest about that).
+        assert!(after_city <= before);
+        clock.advance(Duration::days(2));
+        db.pump_degradation().unwrap();
+        let after_region = total_exposure(&db).unwrap();
+        assert!(
+            after_region < after_city,
+            "region (2 leaves below) must expose strictly less"
+        );
+        // After the full life cycle everything is gone.
+        clock.advance(Duration::days(70));
+        db.pump_degradation().unwrap();
+        assert_eq!(total_exposure(&db).unwrap(), 0.0);
+        let r = exposure_of_table(&db.catalog().get("person").unwrap()).unwrap();
+        assert_eq!(r.tuples, 0);
+    }
+
+    #[test]
+    fn stage_histogram_tracks_population() {
+        let (clock, db) = setup();
+        db.insert("person", &[Value::Int(1), Value::Str("4 rue Jussieu".into())])
+            .unwrap();
+        clock.advance(Duration::hours(2));
+        db.pump_degradation().unwrap();
+        db.insert(
+            "person",
+            &[Value::Int(2), Value::Str("Rue de la Paix".into())],
+        )
+        .unwrap();
+        let r = exposure_of_table(&db.catalog().get("person").unwrap()).unwrap();
+        assert_eq!(r.stage_histogram[0], 1); // fresh tuple
+        assert_eq!(r.stage_histogram[1], 1); // degraded to city
+        assert_eq!(r.accurate_values, 1);
+        assert_eq!(r.degraded_values, 1);
+    }
+
+    #[test]
+    fn storage_footprint_grows_with_data() {
+        let (_clock, db) = setup();
+        let (h0, w0) = storage_footprint(&db).unwrap();
+        for i in 0..50 {
+            db.insert(
+                "person",
+                &[Value::Int(i), Value::Str("Science Park 123".into())],
+            )
+            .unwrap();
+        }
+        let (h1, w1) = storage_footprint(&db).unwrap();
+        assert!(h1 >= h0);
+        assert!(w1 > w0, "WAL must grow with inserts");
+    }
+}

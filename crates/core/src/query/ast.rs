@@ -1,0 +1,141 @@
+//! Abstract syntax for the supported SQL subset.
+
+use instant_common::Value;
+
+/// Comparison operators in predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComparisonOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// A (conjunctive) predicate. The reproduced subset is conjunctions of
+/// simple column-vs-literal terms — what the paper's examples use.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `col <op> literal`
+    Cmp {
+        column: String,
+        op: ComparisonOp,
+        literal: Value,
+    },
+    /// `col LIKE 'pattern'` (`%` wildcards)
+    Like { column: String, pattern: String },
+    /// `col BETWEEN lo AND hi` (inclusive bounds)
+    Between {
+        column: String,
+        lo: Value,
+        hi: Value,
+    },
+    /// Conjunction.
+    And(Vec<Predicate>),
+}
+
+impl Predicate {
+    /// Flatten into a list of conjunctive terms.
+    pub fn conjuncts(&self) -> Vec<&Predicate> {
+        match self {
+            Predicate::And(ps) => ps.iter().flat_map(|p| p.conjuncts()).collect(),
+            leaf => vec![leaf],
+        }
+    }
+
+    /// Column names referenced.
+    pub fn columns(&self) -> Vec<&str> {
+        match self {
+            Predicate::Cmp { column, .. }
+            | Predicate::Like { column, .. }
+            | Predicate::Between { column, .. } => vec![column.as_str()],
+            Predicate::And(ps) => ps.iter().flat_map(|p| p.columns()).collect(),
+        }
+    }
+}
+
+/// A column definition in `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub type_name: String,
+    /// `DEGRADE USING <hierarchy> LCP '<spec>'`
+    pub degrade: Option<DegradeClause>,
+    /// `INDEXED`
+    pub indexed: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradeClause {
+    pub hierarchy: String,
+    pub lcp_spec: String,
+}
+
+/// One `<level> FOR <column>` item of a purpose declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyItem {
+    /// Level token: `COUNTRY`, `RANGE1000`, `d2`, …; resolved against the
+    /// column's hierarchy at execution time.
+    pub level: String,
+    /// Column name (qualification like `P.` is stripped by the parser).
+    pub column: String,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    CreateTable {
+        name: String,
+        columns: Vec<ColumnDef>,
+    },
+    Insert {
+        table: String,
+        rows: Vec<Vec<Value>>,
+    },
+    Select {
+        table: String,
+        /// Empty = `*`.
+        projection: Vec<String>,
+        predicate: Option<Predicate>,
+    },
+    Delete {
+        table: String,
+        predicate: Option<Predicate>,
+    },
+    /// `DECLARE PURPOSE <name> SET ACCURACY LEVEL <item>, <item> …`
+    /// Declares *and activates* the purpose for the session.
+    DeclarePurpose {
+        name: String,
+        items: Vec<AccuracyItem>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjunct_flattening() {
+        let p = Predicate::And(vec![
+            Predicate::Cmp {
+                column: "a".into(),
+                op: ComparisonOp::Eq,
+                literal: Value::Int(1),
+            },
+            Predicate::And(vec![
+                Predicate::Like {
+                    column: "b".into(),
+                    pattern: "%x%".into(),
+                },
+                Predicate::Between {
+                    column: "c".into(),
+                    lo: Value::Int(0),
+                    hi: Value::Int(9),
+                },
+            ]),
+        ]);
+        assert_eq!(p.conjuncts().len(), 3);
+        assert_eq!(p.columns(), vec!["a", "b", "c"]);
+    }
+}

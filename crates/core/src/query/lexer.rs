@@ -1,0 +1,193 @@
+//! Hand-rolled SQL lexer.
+//!
+//! Case-insensitive keywords, `'single'` / `"double"` quoted strings,
+//! integers/floats, identifiers with optional qualification (`P.LOCATION`
+//! lexes as ident, dot, ident), and the operator set the paper's examples
+//! need.
+
+use instant_common::{Error, Result};
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Symbol(char), // ( ) , . ; *
+    Eq,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Ne,
+}
+
+impl Token {
+    /// Keyword test (idents only, case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize `input`.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' | ')' | ',' | '.' | ';' | '*' => {
+                out.push(Token::Symbol(c));
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&'>') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '!' if bytes.get(i + 1) == Some(&'=') => {
+                out.push(Token::Ne);
+                i += 2;
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != quote {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(Error::Parse(format!(
+                        "unterminated string starting at offset {i}"
+                    )));
+                }
+                out.push(Token::Str(bytes[start..j].iter().collect()));
+                i = j + 1;
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                let mut j = i;
+                if bytes[j] == '-' {
+                    j += 1;
+                    if j >= bytes.len() || !bytes[j].is_ascii_digit() {
+                        return Err(Error::Parse(format!("stray '-' at offset {i}")));
+                    }
+                }
+                let mut is_float = false;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_digit()
+                        || (bytes[j] == '.'
+                            && bytes.get(j + 1).is_some_and(|c| c.is_ascii_digit())
+                            && !is_float))
+                {
+                    if bytes[j] == '.' {
+                        is_float = true;
+                    }
+                    j += 1;
+                }
+                let text: String = bytes[start..j].iter().collect();
+                if is_float {
+                    out.push(Token::Float(text.parse().map_err(|_| {
+                        Error::Parse(format!("bad float literal '{text}'"))
+                    })?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|_| {
+                        Error::Parse(format!("bad int literal '{text}'"))
+                    })?));
+                }
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                out.push(Token::Ident(bytes[start..j].iter().collect()));
+                i = j;
+            }
+            other => {
+                return Err(Error::Parse(format!(
+                    "unexpected character '{other}' at offset {i}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_paper_query() {
+        let toks = lex(
+            "SELECT * FROM PERSON WHERE LOCATION LIKE\"%FRANCE%\" AND SALARY = '2000-3000'",
+        )
+        .unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert_eq!(toks[1], Token::Symbol('*'));
+        assert!(toks.contains(&Token::Str("%FRANCE%".into())));
+        assert!(toks.contains(&Token::Str("2000-3000".into())));
+        assert!(toks.contains(&Token::Eq));
+    }
+
+    #[test]
+    fn lexes_declare_purpose() {
+        let toks = lex(
+            "DECLARE PURPOSE STAT SET ACCURACY LEVEL COUNTRY FOR P.LOCATION, RANGE1000 FOR P.SALARY",
+        )
+        .unwrap();
+        assert!(toks.iter().any(|t| t.is_kw("purpose")));
+        assert!(toks.contains(&Token::Symbol('.')));
+        assert!(toks.contains(&Token::Symbol(',')));
+    }
+
+    #[test]
+    fn numbers_and_operators() {
+        let toks = lex("a >= -12 AND b < 3.5 OR c <> 7 AND d != 8").unwrap();
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Int(-12)));
+        assert!(toks.contains(&Token::Float(3.5)));
+        assert_eq!(toks.iter().filter(|t| **t == Token::Ne).count(), 2);
+    }
+
+    #[test]
+    fn unterminated_string_rejected() {
+        assert!(lex("SELECT 'oops").is_err());
+    }
+
+    #[test]
+    fn stray_minus_rejected() {
+        assert!(lex("a = - b").is_err());
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        assert!(lex("").unwrap().is_empty());
+        assert!(lex("   \n\t ").unwrap().is_empty());
+    }
+}

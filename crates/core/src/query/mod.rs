@@ -1,0 +1,23 @@
+//! SQL front end.
+//!
+//! The paper keeps SQL syntax unchanged and adds a purpose preamble:
+//!
+//! ```sql
+//! DECLARE PURPOSE STAT SET ACCURACY LEVEL COUNTRY FOR P.LOCATION,
+//!                                     RANGE1000 FOR P.SALARY;
+//! SELECT * FROM PERSON WHERE LOCATION LIKE '%FRANCE%'
+//!                        AND SALARY = '2000-3000';
+//! ```
+//!
+//! Pipeline: [`lexer`] → [`parser`] → [`exec`] (bind + plan + evaluate with
+//! the σ_P,k / π_*,k semantics), driven by a [`session::Session`] that holds
+//! the declared purposes and the registered domain hierarchies.
+
+pub mod ast;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod session;
+
+pub use ast::{ComparisonOp, Predicate, Statement};
+pub use exec::{QueryOutput, QueryResult};

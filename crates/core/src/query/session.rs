@@ -1,0 +1,202 @@
+//! Sessions: declared purposes, hierarchy registry, query semantics.
+//!
+//! "The accuracy level k is chosen such that it reflects the declared
+//! purpose for querying the data" (Section II). A [`Session`] owns the
+//! purposes declared with `DECLARE PURPOSE … SET ACCURACY LEVEL …`; the
+//! most recent declaration is active and supplies the accuracy vector for
+//! subsequent queries. Without a declaration, queries run at each
+//! attribute's most accurate state — exactly the paper's default reading
+//! where only still-accurate subsets are visible.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use instant_common::{Error, Result};
+use instant_lcp::hierarchy::Hierarchy;
+
+use crate::db::Db;
+use crate::query::ast::Statement;
+use crate::query::exec::{self, QueryOutput};
+use crate::query::parser;
+
+/// Strict vs relaxed σ/π semantics (Section IV future work — see
+/// [`crate::ext`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QuerySemantics {
+    /// Paper default: only tuples whose state can *compute* the requested
+    /// level participate.
+    #[default]
+    Strict,
+    /// Section IV: predicates may also be evaluated against tuples at
+    /// coarser accuracy; projections return the most accurate computable
+    /// value.
+    Relaxed,
+}
+
+/// A declared purpose: column (lower-cased) → level token.
+#[derive(Debug, Clone, Default)]
+pub struct Purpose {
+    pub levels: HashMap<String, String>,
+}
+
+/// An interactive session against a [`Db`].
+pub struct Session {
+    db: Arc<Db>,
+    hierarchies: HashMap<String, Arc<dyn Hierarchy>>,
+    purposes: HashMap<String, Purpose>,
+    active_purpose: Option<String>,
+    semantics: QuerySemantics,
+}
+
+impl Session {
+    pub fn new(db: Arc<Db>) -> Session {
+        Session {
+            db,
+            hierarchies: HashMap::new(),
+            purposes: HashMap::new(),
+            active_purpose: None,
+            semantics: QuerySemantics::Strict,
+        }
+    }
+
+    pub fn db(&self) -> &Arc<Db> {
+        &self.db
+    }
+
+    /// Register a domain hierarchy so `CREATE TABLE … DEGRADE USING <name>`
+    /// can reference it.
+    pub fn register_hierarchy(&mut self, name: &str, h: Arc<dyn Hierarchy>) {
+        self.hierarchies.insert(name.to_ascii_lowercase(), h);
+    }
+
+    pub fn hierarchy(&self, name: &str) -> Result<Arc<dyn Hierarchy>> {
+        self.hierarchies
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("hierarchy '{name}' not registered")))
+    }
+
+    /// Switch strict/relaxed semantics (the E13 ablation toggle).
+    pub fn set_semantics(&mut self, s: QuerySemantics) {
+        self.semantics = s;
+    }
+
+    pub fn semantics(&self) -> QuerySemantics {
+        self.semantics
+    }
+
+    /// Declare (and activate) a purpose programmatically.
+    pub fn declare_purpose(&mut self, name: &str, items: &[(String, String)]) {
+        let mut p = Purpose::default();
+        for (col, level) in items {
+            p.levels.insert(col.to_ascii_lowercase(), level.clone());
+        }
+        self.purposes.insert(name.to_ascii_lowercase(), p);
+        self.active_purpose = Some(name.to_ascii_lowercase());
+    }
+
+    /// Activate a previously declared purpose.
+    pub fn set_purpose(&mut self, name: &str) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        if !self.purposes.contains_key(&key) {
+            return Err(Error::NotFound(format!("purpose '{name}' not declared")));
+        }
+        self.active_purpose = Some(key);
+        Ok(())
+    }
+
+    /// Clear the active purpose: queries run at the most accurate state.
+    pub fn clear_purpose(&mut self) {
+        self.active_purpose = None;
+    }
+
+    /// The active purpose, if any.
+    pub fn active_purpose(&self) -> Option<&Purpose> {
+        self.active_purpose
+            .as_ref()
+            .and_then(|n| self.purposes.get(n))
+    }
+
+    /// Parse and execute one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryOutput> {
+        let stmt = parser::parse(sql)?;
+        self.run(stmt)
+    }
+
+    /// Execute a parsed statement.
+    pub fn run(&mut self, stmt: Statement) -> Result<QueryOutput> {
+        match stmt {
+            Statement::DeclarePurpose { name, items } => {
+                let pairs: Vec<(String, String)> = items
+                    .into_iter()
+                    .map(|i| (i.column, i.level))
+                    .collect();
+                self.declare_purpose(&name, &pairs);
+                Ok(QueryOutput::PurposeDeclared(name))
+            }
+            other => exec::run(self, other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::DbConfig;
+    use instant_common::MockClock;
+    use instant_lcp::gtree::location_tree_fig1;
+
+    fn session() -> Session {
+        let clock = MockClock::new();
+        let db = Arc::new(Db::open(DbConfig::default(), clock.shared()).unwrap());
+        Session::new(db)
+    }
+
+    #[test]
+    fn purpose_declaration_and_activation() {
+        let mut s = session();
+        s.declare_purpose(
+            "stat",
+            &[("LOCATION".to_string(), "COUNTRY".to_string())],
+        );
+        assert!(s.active_purpose().is_some());
+        assert_eq!(
+            s.active_purpose().unwrap().levels.get("location").unwrap(),
+            "COUNTRY"
+        );
+        s.clear_purpose();
+        assert!(s.active_purpose().is_none());
+        s.set_purpose("STAT").unwrap();
+        assert!(s.active_purpose().is_some());
+        assert!(s.set_purpose("nope").is_err());
+    }
+
+    #[test]
+    fn hierarchy_registry() {
+        let mut s = session();
+        s.register_hierarchy("location_gt", Arc::new(location_tree_fig1()));
+        assert!(s.hierarchy("LOCATION_GT").is_ok());
+        assert!(s.hierarchy("other").is_err());
+    }
+
+    #[test]
+    fn declare_purpose_via_sql() {
+        let mut s = session();
+        let out = s
+            .execute("DECLARE PURPOSE STAT SET ACCURACY LEVEL COUNTRY FOR P.LOCATION")
+            .unwrap();
+        assert!(matches!(out, QueryOutput::PurposeDeclared(n) if n == "STAT"));
+        assert_eq!(
+            s.active_purpose().unwrap().levels.get("location").unwrap(),
+            "COUNTRY"
+        );
+    }
+
+    #[test]
+    fn semantics_toggle() {
+        let mut s = session();
+        assert_eq!(s.semantics(), QuerySemantics::Strict);
+        s.set_semantics(QuerySemantics::Relaxed);
+        assert_eq!(s.semantics(), QuerySemantics::Relaxed);
+    }
+}

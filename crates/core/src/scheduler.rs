@@ -1,0 +1,290 @@
+//! The degradation scheduler: *timely* enforcement (paper Section III,
+//! "How to enforce timely data degradation?").
+//!
+//! Every degradable attribute of every live tuple has exactly one pending
+//! transition in the due-time priority queue. [`DegradationScheduler::due_batch`]
+//! pops the transitions whose time has come; the engine executes them as a
+//! system transaction and re-arms the next transition for each attribute.
+//! Lateness (actual − due) is recorded in a log₂ histogram — experiment E7
+//! reports its p50/p99/max against scheduler tick and batch size.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use parking_lot::Mutex;
+
+use instant_common::{Duration, TableId, Timestamp, TupleId};
+
+/// One scheduled attribute transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingTransition {
+    pub due: Timestamp,
+    pub table: TableId,
+    pub tid: TupleId,
+    /// Index into the table's degradable-column list (not the column id).
+    pub deg_slot: u8,
+    /// The LCP stage being *left* when this fires.
+    pub from_stage: u8,
+}
+
+impl Ord for PendingTransition {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.table, self.tid, self.deg_slot, self.from_stage).cmp(&(
+            other.due,
+            other.table,
+            other.tid,
+            other.deg_slot,
+            other.from_stage,
+        ))
+    }
+}
+
+impl PartialOrd for PendingTransition {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Log₂-bucketed latency histogram (microseconds).
+#[derive(Debug, Clone)]
+pub struct LatenessHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum_micros: u128,
+    max_micros: u64,
+}
+
+impl Default for LatenessHistogram {
+    fn default() -> Self {
+        LatenessHistogram {
+            buckets: [0; 64],
+            count: 0,
+            sum_micros: 0,
+            max_micros: 0,
+        }
+    }
+}
+
+impl LatenessHistogram {
+    pub fn record(&mut self, d: Duration) {
+        let us = d.as_micros();
+        let bucket = if us == 0 { 0 } else { 64 - us.leading_zeros() as usize };
+        self.buckets[bucket.min(63)] += 1;
+        self.count += 1;
+        self.sum_micros += us as u128;
+        self.max_micros = self.max_micros.max(us);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn max(&self) -> Duration {
+        Duration::micros(self.max_micros)
+    }
+
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::micros((self.sum_micros / self.count as u128) as u64)
+        }
+    }
+
+    /// Approximate quantile (upper bound of the containing bucket).
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            acc += b;
+            if acc >= target.max(1) {
+                // Bucket upper bound, clamped to the observed maximum so a
+                // single large bucket never reports beyond reality.
+                let upper = if i == 0 { 0 } else { 1u64 << i };
+                return Duration::micros(upper.min(self.max_micros));
+            }
+        }
+        self.max()
+    }
+}
+
+/// The due-time priority queue plus lateness accounting.
+#[derive(Debug, Default)]
+pub struct DegradationScheduler {
+    queue: Mutex<BinaryHeap<Reverse<PendingTransition>>>,
+    lateness: Mutex<LatenessHistogram>,
+    fired: std::sync::atomic::AtomicU64,
+}
+
+impl DegradationScheduler {
+    pub fn new() -> DegradationScheduler {
+        DegradationScheduler::default()
+    }
+
+    /// Arm a transition.
+    pub fn schedule(&self, pt: PendingTransition) {
+        self.queue.lock().push(Reverse(pt));
+    }
+
+    /// Pending transitions count.
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The earliest due time, if any (lets callers sleep precisely).
+    pub fn next_due(&self) -> Option<Timestamp> {
+        self.queue.lock().peek().map(|Reverse(pt)| pt.due)
+    }
+
+    /// Pop every transition due at or before `now`, up to `max` (0 = all).
+    pub fn due_batch(&self, now: Timestamp, max: usize) -> Vec<PendingTransition> {
+        let mut q = self.queue.lock();
+        let mut out = Vec::new();
+        while let Some(Reverse(pt)) = q.peek() {
+            if pt.due > now {
+                break;
+            }
+            if max != 0 && out.len() >= max {
+                break;
+            }
+            out.push(q.pop().expect("peeked").0);
+        }
+        out
+    }
+
+    /// Record the lateness of an executed transition.
+    pub fn record_fired(&self, due: Timestamp, executed_at: Timestamp) {
+        self.lateness.lock().record(executed_at.since(due));
+        self.fired
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Transitions executed so far.
+    pub fn fired(&self) -> u64 {
+        self.fired.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Snapshot of the lateness histogram.
+    pub fn lateness(&self) -> LatenessHistogram {
+        self.lateness.lock().clone()
+    }
+
+    /// Drop every pending transition (recovery rebuilds from the heap).
+    pub fn clear(&self) {
+        self.queue.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(due_us: u64, slot: u8) -> PendingTransition {
+        PendingTransition {
+            due: Timestamp::micros(due_us),
+            table: TableId(1),
+            tid: TupleId::new(1, slot as u16),
+            deg_slot: slot,
+            from_stage: 0,
+        }
+    }
+
+    #[test]
+    fn pops_in_due_order() {
+        let s = DegradationScheduler::new();
+        s.schedule(pt(300, 0));
+        s.schedule(pt(100, 1));
+        s.schedule(pt(200, 2));
+        let batch = s.due_batch(Timestamp::micros(1000), 0);
+        let dues: Vec<u64> = batch.iter().map(|p| p.due.0).collect();
+        assert_eq!(dues, vec![100, 200, 300]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn respects_now_boundary() {
+        let s = DegradationScheduler::new();
+        s.schedule(pt(100, 0));
+        s.schedule(pt(200, 1));
+        let batch = s.due_batch(Timestamp::micros(150), 0);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.next_due(), Some(Timestamp::micros(200)));
+        // Exactly at the boundary fires.
+        let batch2 = s.due_batch(Timestamp::micros(200), 0);
+        assert_eq!(batch2.len(), 1);
+    }
+
+    #[test]
+    fn batch_size_cap() {
+        let s = DegradationScheduler::new();
+        for i in 0..10 {
+            s.schedule(pt(i, i as u8));
+        }
+        let batch = s.due_batch(Timestamp::micros(1000), 4);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn lateness_recording_and_quantiles() {
+        let s = DegradationScheduler::new();
+        for lateness_us in [1u64, 10, 100, 1000, 10_000] {
+            s.record_fired(
+                Timestamp::micros(0),
+                Timestamp::micros(lateness_us),
+            );
+        }
+        let h = s.lateness();
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), Duration::micros(10_000));
+        assert!(h.mean() >= Duration::micros(2000));
+        assert!(h.quantile(0.5) <= h.quantile(0.99));
+        assert!(h.quantile(1.0) >= Duration::micros(8192));
+        assert_eq!(s.fired(), 5);
+    }
+
+    #[test]
+    fn zero_lateness_goes_to_bucket_zero() {
+        let mut h = LatenessHistogram::default();
+        h.record(Duration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles() {
+        let h = LatenessHistogram::default();
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let s = DegradationScheduler::new();
+        s.schedule(pt(1, 0));
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.next_due(), None);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let s = DegradationScheduler::new();
+        s.schedule(pt(100, 2));
+        s.schedule(pt(100, 1));
+        s.schedule(pt(100, 0));
+        let batch = s.due_batch(Timestamp::micros(100), 0);
+        let slots: Vec<u8> = batch.iter().map(|p| p.deg_slot).collect();
+        assert_eq!(slots, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Equality-only hash index (baseline).
+//!
+//! The classical OLTP choice for selective equality predicates on the
+//! accurate state. It cannot serve range predicates (`range` → `None`),
+//! which matters at degraded levels where interval semantics dominate —
+//! one of the reasons the multilevel composite exists.
+
+use std::collections::HashMap;
+
+use instant_common::codec::encode_value;
+use instant_common::{TupleId, Value};
+
+use crate::SecondaryIndex;
+
+/// Hash index over encoded value keys.
+#[derive(Debug, Default)]
+pub struct HashIndex {
+    map: HashMap<Vec<u8>, Vec<TupleId>>,
+    len: usize,
+}
+
+impl HashIndex {
+    pub fn new() -> HashIndex {
+        HashIndex::default()
+    }
+}
+
+fn key_bytes(v: &Value) -> Vec<u8> {
+    let mut k = Vec::with_capacity(16);
+    encode_value(v, &mut k);
+    k
+}
+
+impl SecondaryIndex for HashIndex {
+    fn insert(&mut self, key: &Value, tid: TupleId) {
+        self.map.entry(key_bytes(key)).or_default().push(tid);
+        self.len += 1;
+    }
+
+    fn remove(&mut self, key: &Value, tid: TupleId) -> bool {
+        let k = key_bytes(key);
+        if let Some(postings) = self.map.get_mut(&k) {
+            if let Some(pos) = postings.iter().position(|t| *t == tid) {
+                postings.swap_remove(pos);
+                self.len -= 1;
+                if postings.is_empty() {
+                    self.map.remove(&k);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    fn get(&self, key: &Value) -> Vec<TupleId> {
+        self.map.get(&key_bytes(key)).cloned().unwrap_or_default()
+    }
+
+    fn range(&self, _lo: Option<&Value>, _hi: Option<&Value>) -> Option<Vec<TupleId>> {
+        None // hash indexes cannot range-scan
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(n: u64) -> TupleId {
+        TupleId::unpack(n)
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut idx = HashIndex::new();
+        idx.insert(&Value::Str("Paris".into()), tid(1));
+        idx.insert(&Value::Str("Paris".into()), tid(2));
+        idx.insert(&Value::Str("Lyon".into()), tid(3));
+        assert_eq!(idx.get(&Value::Str("Paris".into())).len(), 2);
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.distinct_keys(), 2);
+        assert!(idx.remove(&Value::Str("Paris".into()), tid(1)));
+        assert_eq!(idx.get(&Value::Str("Paris".into())), vec![tid(2)]);
+        assert!(!idx.remove(&Value::Str("Nowhere".into()), tid(9)));
+    }
+
+    #[test]
+    fn no_range_support() {
+        let mut idx = HashIndex::new();
+        idx.insert(&Value::Int(1), tid(1));
+        assert!(idx.range(Some(&Value::Int(0)), Some(&Value::Int(9))).is_none());
+    }
+
+    #[test]
+    fn distinct_value_types_do_not_collide() {
+        let mut idx = HashIndex::new();
+        idx.insert(&Value::Int(1), tid(1));
+        idx.insert(&Value::Str("1".into()), tid(2));
+        idx.insert(&Value::Range { lo: 1, hi: 2 }, tid(3));
+        assert_eq!(idx.get(&Value::Int(1)), vec![tid(1)]);
+        assert_eq!(idx.get(&Value::Str("1".into())), vec![tid(2)]);
+        assert_eq!(idx.get(&Value::Range { lo: 1, hi: 2 }), vec![tid(3)]);
+    }
+
+    #[test]
+    fn empty_key_cleanup() {
+        let mut idx = HashIndex::new();
+        idx.insert(&Value::Int(9), tid(1));
+        idx.remove(&Value::Int(9), tid(1));
+        assert_eq!(idx.distinct_keys(), 0);
+        assert!(idx.is_empty());
+    }
+}

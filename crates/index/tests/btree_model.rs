@@ -1,0 +1,110 @@
+//! Property tests: the B+-tree against a `BTreeMap` reference model under
+//! random interleavings of inserts, removes, lookups and range scans.
+
+use std::collections::BTreeMap;
+
+use instant_common::{TupleId, Value};
+use instant_index::btree::BPlusTree;
+use instant_index::SecondaryIndex;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, u64),
+    Remove(i64, u64),
+    Get(i64),
+    Range(i64, i64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0i64..200, 0u64..50).prop_map(|(k, t)| Op::Insert(k, t)),
+        2 => (0i64..200, 0u64..50).prop_map(|(k, t)| Op::Remove(k, t)),
+        2 => (0i64..200).prop_map(Op::Get),
+        1 => (0i64..200, 0i64..200).prop_map(|(a, b)| Op::Range(a.min(b), a.max(b))),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn btree_matches_model(ops in proptest::collection::vec(arb_op(), 1..400)) {
+        let mut tree = BPlusTree::new();
+        let mut model: BTreeMap<i64, Vec<TupleId>> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, t) => {
+                    let tid = TupleId::unpack(t);
+                    tree.insert(&Value::Int(k), tid);
+                    model.entry(k).or_default().push(tid);
+                }
+                Op::Remove(k, t) => {
+                    let tid = TupleId::unpack(t);
+                    let tree_removed = tree.remove(&Value::Int(k), tid);
+                    let model_removed = match model.get_mut(&k) {
+                        Some(v) => match v.iter().position(|x| *x == tid) {
+                            Some(i) => {
+                                v.swap_remove(i);
+                                if v.is_empty() {
+                                    model.remove(&k);
+                                }
+                                true
+                            }
+                            None => false,
+                        },
+                        None => false,
+                    };
+                    prop_assert_eq!(tree_removed, model_removed);
+                }
+                Op::Get(k) => {
+                    let mut got = tree.get(&Value::Int(k));
+                    let mut want = model.get(&k).cloned().unwrap_or_default();
+                    got.sort();
+                    want.sort();
+                    prop_assert_eq!(got, want);
+                }
+                Op::Range(lo, hi) => {
+                    let mut got = tree
+                        .range(Some(&Value::Int(lo)), Some(&Value::Int(hi)))
+                        .unwrap();
+                    let mut want: Vec<TupleId> = model
+                        .range(lo..hi)
+                        .flat_map(|(_, v)| v.iter().copied())
+                        .collect();
+                    got.sort();
+                    want.sort();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            // Global invariants after every op.
+            let total: usize = model.values().map(|v| v.len()).sum();
+            prop_assert_eq!(tree.len(), total);
+            prop_assert_eq!(tree.distinct_keys(), model.len());
+        }
+        // Ordered iteration equals the model.
+        let entries = tree.ordered_entries();
+        let keys: Vec<i64> = entries
+            .iter()
+            .map(|(k, _)| k.as_int().unwrap())
+            .collect();
+        let want_keys: Vec<i64> = model.keys().copied().collect();
+        prop_assert_eq!(keys, want_keys);
+    }
+
+    #[test]
+    fn rebuild_preserves_semantics(
+        inserts in proptest::collection::vec((0i64..100, 0u64..1000), 1..300),
+        removes in proptest::collection::vec(any::<prop::sample::Index>(), 0..100),
+    ) {
+        let mut tree = BPlusTree::new();
+        for (k, t) in &inserts {
+            tree.insert(&Value::Int(*k), TupleId::unpack(*t));
+        }
+        for idx in removes {
+            let (k, t) = inserts[idx.index(inserts.len())];
+            tree.remove(&Value::Int(k), TupleId::unpack(t));
+        }
+        let before = tree.ordered_entries();
+        tree.rebuild();
+        prop_assert_eq!(tree.ordered_entries(), before);
+    }
+}

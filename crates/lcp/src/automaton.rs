@@ -1,0 +1,317 @@
+//! Attribute Life Cycle Policies (paper Fig. 2).
+//!
+//! "A Life Cycle Policy for an attribute is modelled by a deterministic
+//! finite automaton as a set of degradable attribute states {d0,…,dn}
+//! denoting the levels of accuracy of the corresponding attribute, a set of
+//! transitions between those states and the associated time delays (TP)
+//! after which these transitions are triggered."
+//!
+//! We follow the paper's simplifying assumptions: transitions are triggered
+//! by time only, one LCP per degradable attribute, uniform across all tuples
+//! of a store. The automaton is a chain `d0 →TP0 d1 →TP1 … dn →TPn ⊥`
+//! (`⊥` = removed). Each stage pairs an accuracy level of the attribute's
+//! hierarchy with the retention period spent at that level.
+
+use instant_common::{Duration, Error, LevelId, Result, Timestamp};
+
+/// One state of the automaton: spend `retention` at accuracy `level`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LcpStage {
+    /// Accuracy level in the attribute's hierarchy (d0 = leaves).
+    pub level: LevelId,
+    /// Time spent in this state before the next transition fires.
+    pub retention: Duration,
+}
+
+/// Where a value sits in its life cycle at a given age.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LcpPosition {
+    /// In stage `i` of the automaton (index into [`AttributeLcp::stages`]).
+    Stage(usize),
+    /// Past the final stage: the value must have been removed.
+    Expired,
+}
+
+/// A per-attribute LCP: the Fig. 2 automaton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeLcp {
+    stages: Vec<LcpStage>,
+    /// Cumulative transition times: `boundaries[i]` is the age at which the
+    /// value *leaves* stage `i`.
+    boundaries: Vec<Duration>,
+}
+
+impl AttributeLcp {
+    /// Build from stages. Validates: non-empty, strictly increasing accuracy
+    /// levels (degradation is monotone), and positive retention in every
+    /// stage except that the *first* stage may have any positive duration —
+    /// a zero-retention stage would make its state unobservable.
+    pub fn new(stages: Vec<LcpStage>) -> Result<Self> {
+        if stages.is_empty() {
+            return Err(Error::Policy("LCP needs at least one stage".into()));
+        }
+        for pair in stages.windows(2) {
+            if pair[1].level <= pair[0].level {
+                return Err(Error::Policy(format!(
+                    "LCP levels must strictly increase: d{} then d{}",
+                    pair[0].level.0, pair[1].level.0
+                )));
+            }
+        }
+        for s in &stages {
+            if s.retention == Duration::ZERO {
+                return Err(Error::Policy(format!(
+                    "stage d{} has zero retention (state would be unobservable)",
+                    s.level.0
+                )));
+            }
+        }
+        let mut boundaries = Vec::with_capacity(stages.len());
+        let mut acc = Duration::ZERO;
+        for s in &stages {
+            acc += s.retention;
+            boundaries.push(acc);
+        }
+        Ok(AttributeLcp {
+            stages,
+            boundaries,
+        })
+    }
+
+    /// Convenience constructor from `(level, retention)` pairs.
+    pub fn from_pairs(pairs: &[(u8, Duration)]) -> Result<Self> {
+        Self::new(
+            pairs
+                .iter()
+                .map(|&(l, d)| LcpStage {
+                    level: LevelId(l),
+                    retention: d,
+                })
+                .collect(),
+        )
+    }
+
+    /// The paper's Figure 2 policy for the location attribute:
+    /// address for 1 h → city for 1 day → region for 1 month →
+    /// country for 1 month → removed.
+    ///
+    /// (Fig. 2 labels the delays `ι0 = 0 min, ι1 = 1 h, ι2 = 1 day,
+    /// ι3 = 1 month`: the value *enters* d0 at 0 and each `ιk` is the time
+    /// spent before the next hop; we give the final country state one month
+    /// of retention before removal, the paper's trailing transition.)
+    pub fn fig2_location() -> AttributeLcp {
+        AttributeLcp::from_pairs(&[
+            (0, Duration::hours(1)),
+            (1, Duration::days(1)),
+            (2, Duration::months(1)),
+            (3, Duration::months(1)),
+        ])
+        .expect("fig2 policy is valid")
+    }
+
+    pub fn stages(&self) -> &[LcpStage] {
+        &self.stages
+    }
+
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The stage index occupied at `age`, or `Expired`.
+    pub fn position_at(&self, age: Duration) -> LcpPosition {
+        match self.boundaries.iter().position(|b| age < *b) {
+            Some(i) => LcpPosition::Stage(i),
+            None => LcpPosition::Expired,
+        }
+    }
+
+    /// The accuracy level in force at `age`, `None` once expired.
+    pub fn level_at(&self, age: Duration) -> Option<LevelId> {
+        match self.position_at(age) {
+            LcpPosition::Stage(i) => Some(self.stages[i].level),
+            LcpPosition::Expired => None,
+        }
+    }
+
+    /// Ages at which transitions fire (leaving stage 0, 1, …, n). The last
+    /// entry is the removal age.
+    pub fn transition_ages(&self) -> &[Duration] {
+        &self.boundaries
+    }
+
+    /// Absolute due time of the transition out of stage `i` for a datum
+    /// inserted at `birth`.
+    pub fn due_time(&self, birth: Timestamp, stage: usize) -> Option<Timestamp> {
+        self.boundaries.get(stage).map(|d| birth + *d)
+    }
+
+    /// Age after which the value is removed (total lifetime).
+    pub fn lifetime(&self) -> Duration {
+        *self.boundaries.last().expect("non-empty")
+    }
+
+    /// The shortest retention of any stage. The paper's security claim:
+    /// "an attack … must be repeated with a frequency smaller than the
+    /// duration of the shortest degradation step" to observe every state —
+    /// this is that duration.
+    pub fn shortest_step(&self) -> Duration {
+        self.stages
+            .iter()
+            .map(|s| s.retention)
+            .min()
+            .expect("non-empty")
+    }
+
+    /// The next transition strictly after `age`: `(stage_index_leaving,
+    /// transition_age)`. `None` once expired.
+    pub fn next_transition_after(&self, age: Duration) -> Option<(usize, Duration)> {
+        self.boundaries
+            .iter()
+            .position(|b| *b > age)
+            .map(|i| (i, self.boundaries[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_timeline() {
+        let lcp = AttributeLcp::fig2_location();
+        assert_eq!(lcp.num_stages(), 4);
+        // Right after insert: accurate address.
+        assert_eq!(lcp.level_at(Duration::ZERO), Some(LevelId(0)));
+        // 59 minutes in: still address.
+        assert_eq!(lcp.level_at(Duration::minutes(59)), Some(LevelId(0)));
+        // At exactly 1 h the transition fires: city.
+        assert_eq!(lcp.level_at(Duration::hours(1)), Some(LevelId(1)));
+        // 1 h + 1 day: region.
+        assert_eq!(
+            lcp.level_at(Duration::hours(1) + Duration::days(1)),
+            Some(LevelId(2))
+        );
+        // + 1 month: country.
+        assert_eq!(
+            lcp.level_at(Duration::hours(1) + Duration::days(1) + Duration::months(1)),
+            Some(LevelId(3))
+        );
+        // + another month: gone.
+        assert_eq!(lcp.level_at(lcp.lifetime()), None);
+        assert_eq!(lcp.position_at(lcp.lifetime()), LcpPosition::Expired);
+    }
+
+    #[test]
+    fn lifetime_is_sum_of_retentions() {
+        let lcp = AttributeLcp::fig2_location();
+        let expect = Duration::hours(1)
+            + Duration::days(1)
+            + Duration::months(1)
+            + Duration::months(1);
+        assert_eq!(lcp.lifetime(), expect);
+    }
+
+    #[test]
+    fn shortest_step_matches_security_claim() {
+        let lcp = AttributeLcp::fig2_location();
+        assert_eq!(lcp.shortest_step(), Duration::hours(1));
+    }
+
+    #[test]
+    fn transition_ages_are_cumulative() {
+        let lcp = AttributeLcp::from_pairs(&[
+            (0, Duration::secs(10)),
+            (1, Duration::secs(20)),
+            (2, Duration::secs(30)),
+        ])
+        .unwrap();
+        assert_eq!(
+            lcp.transition_ages(),
+            &[
+                Duration::secs(10),
+                Duration::secs(30),
+                Duration::secs(60)
+            ]
+        );
+    }
+
+    #[test]
+    fn next_transition_after_walks_the_chain() {
+        let lcp = AttributeLcp::from_pairs(&[
+            (0, Duration::secs(10)),
+            (1, Duration::secs(20)),
+        ])
+        .unwrap();
+        assert_eq!(
+            lcp.next_transition_after(Duration::ZERO),
+            Some((0, Duration::secs(10)))
+        );
+        assert_eq!(
+            lcp.next_transition_after(Duration::secs(10)),
+            Some((1, Duration::secs(30)))
+        );
+        assert_eq!(lcp.next_transition_after(Duration::secs(30)), None);
+    }
+
+    #[test]
+    fn due_time_is_birth_plus_boundary() {
+        let lcp = AttributeLcp::fig2_location();
+        let birth = Timestamp::micros(5_000);
+        assert_eq!(
+            lcp.due_time(birth, 0),
+            Some(birth + Duration::hours(1))
+        );
+        assert_eq!(lcp.due_time(birth, 4), None);
+    }
+
+    #[test]
+    fn levels_may_skip_but_must_increase() {
+        // Skipping levels is fine (d0 -> d2).
+        assert!(AttributeLcp::from_pairs(&[
+            (0, Duration::secs(1)),
+            (2, Duration::secs(1)),
+        ])
+        .is_ok());
+        // Repeating or decreasing is not.
+        assert!(AttributeLcp::from_pairs(&[
+            (1, Duration::secs(1)),
+            (1, Duration::secs(1)),
+        ])
+        .is_err());
+        assert!(AttributeLcp::from_pairs(&[
+            (2, Duration::secs(1)),
+            (0, Duration::secs(1)),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn zero_retention_rejected() {
+        assert!(AttributeLcp::from_pairs(&[(0, Duration::ZERO)]).is_err());
+        assert!(AttributeLcp::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn single_stage_policy_is_pure_retention() {
+        // A one-stage LCP at d0 is exactly the classical "limited retention"
+        // baseline the paper compares against.
+        let lcp = AttributeLcp::from_pairs(&[(0, Duration::days(365))]).unwrap();
+        assert_eq!(lcp.level_at(Duration::days(364)), Some(LevelId(0)));
+        assert_eq!(lcp.level_at(Duration::days(365)), None);
+    }
+
+    #[test]
+    fn position_monotone_in_age() {
+        let lcp = AttributeLcp::fig2_location();
+        let mut last = -1i64;
+        for m in 0..(32 * 24 * 60 + 120) {
+            let age = Duration::minutes(m as u64 * 30);
+            let idx = match lcp.position_at(age) {
+                LcpPosition::Stage(i) => i as i64,
+                LcpPosition::Expired => i64::MAX,
+            };
+            assert!(idx >= last, "stage index must never decrease");
+            last = idx;
+        }
+    }
+}

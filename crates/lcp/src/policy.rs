@@ -1,0 +1,156 @@
+//! Text DSL for declaring Life Cycle Policies.
+//!
+//! Used by the SQL front end (`CREATE TABLE … DEGRADE <col> … LCP '<spec>'`)
+//! and by configuration files of the experiment harness. Grammar:
+//!
+//! ```text
+//! spec   := stage ( "->" stage )*
+//! stage  := level ":" duration
+//! level  := "d" digits | name          (name resolved via the hierarchy)
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! d0:1h -> d1:1d -> d2:1mo -> d3:1mo        -- Fig. 2 of the paper
+//! address:1h -> city:1d -> region:1mo      -- named levels of a GT
+//! exact:10min -> range1000:30d             -- named levels of a range hierarchy
+//! ```
+
+use instant_common::{Error, LevelId, Result};
+use instant_common::time::parse_duration;
+
+use crate::automaton::{AttributeLcp, LcpStage};
+use crate::hierarchy::Hierarchy;
+
+/// Parse an LCP spec. `hierarchy`, when provided, resolves symbolic level
+/// names and bounds-checks numeric levels against the domain depth.
+pub fn parse_lcp(spec: &str, hierarchy: Option<&dyn Hierarchy>) -> Result<AttributeLcp> {
+    let mut stages = Vec::new();
+    for (i, part) in spec.split("->").enumerate() {
+        let part = part.trim();
+        if part.is_empty() {
+            return Err(Error::Parse(format!("empty stage at position {i} in LCP '{spec}'")));
+        }
+        let (level_str, dur_str) = part.split_once(':').ok_or_else(|| {
+            Error::Parse(format!("stage '{part}' must be '<level>:<duration>'"))
+        })?;
+        let level = resolve_level(level_str.trim(), hierarchy)?;
+        let retention = parse_duration(dur_str.trim()).ok_or_else(|| {
+            Error::Parse(format!("bad duration '{}' in stage '{part}'", dur_str.trim()))
+        })?;
+        stages.push(LcpStage { level, retention });
+    }
+    let lcp = AttributeLcp::new(stages)?;
+    if let Some(h) = hierarchy {
+        for s in lcp.stages() {
+            h.check_level(s.level)?;
+        }
+    }
+    Ok(lcp)
+}
+
+/// Render an LCP back to the DSL (inverse of [`parse_lcp`] up to whitespace).
+pub fn format_lcp(lcp: &AttributeLcp) -> String {
+    lcp.stages()
+        .iter()
+        .map(|s| format!("d{}:{}", s.level.0, s.retention))
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+fn resolve_level(s: &str, hierarchy: Option<&dyn Hierarchy>) -> Result<LevelId> {
+    // Numeric form dN.
+    if let Some(rest) = s.strip_prefix('d') {
+        if let Ok(n) = rest.parse::<u8>() {
+            return Ok(LevelId(n));
+        }
+    }
+    // Symbolic form, resolved through the hierarchy's level names.
+    if let Some(h) = hierarchy {
+        for k in 0..h.levels() {
+            if h.level_name(LevelId(k)).eq_ignore_ascii_case(s) {
+                return Ok(LevelId(k));
+            }
+        }
+        return Err(Error::Parse(format!(
+            "unknown level '{s}' (hierarchy levels: {})",
+            (0..h.levels())
+                .map(|k| h.level_name(LevelId(k)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )));
+    }
+    Err(Error::Parse(format!(
+        "unknown level '{s}' and no hierarchy to resolve names against"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gtree::location_tree_fig1;
+    use crate::range::RangeHierarchy;
+    use instant_common::Duration;
+
+    #[test]
+    fn parses_fig2_spec() {
+        let lcp = parse_lcp("d0:1h -> d1:1d -> d2:1mo -> d3:1mo", None).unwrap();
+        assert_eq!(lcp, AttributeLcp::fig2_location());
+    }
+
+    #[test]
+    fn named_levels_resolve_through_gt() {
+        let gt = location_tree_fig1();
+        let lcp = parse_lcp("address:1h -> city:1d -> region:1mo -> country:1mo", Some(&gt))
+            .unwrap();
+        assert_eq!(lcp, AttributeLcp::fig2_location());
+    }
+
+    #[test]
+    fn named_levels_resolve_through_range_hierarchy() {
+        let h = RangeHierarchy::salary();
+        let lcp = parse_lcp("exact:10min -> range1000:30d", Some(&h)).unwrap();
+        assert_eq!(lcp.stages()[0].level, LevelId(0));
+        assert_eq!(lcp.stages()[1].level, LevelId(2));
+        assert_eq!(lcp.stages()[1].retention, Duration::days(30));
+    }
+
+    #[test]
+    fn round_trip_through_format() {
+        let lcp = AttributeLcp::fig2_location();
+        let text = format_lcp(&lcp);
+        assert_eq!(text, "d0:1h -> d1:1d -> d2:1mo -> d3:1mo");
+        assert_eq!(parse_lcp(&text, None).unwrap(), lcp);
+    }
+
+    #[test]
+    fn level_out_of_hierarchy_rejected() {
+        let gt = location_tree_fig1(); // 4 levels: d0..d3
+        assert!(parse_lcp("d0:1h -> d9:1d", Some(&gt)).is_err());
+        // Without a hierarchy there is nothing to check against.
+        assert!(parse_lcp("d0:1h -> d9:1d", None).is_ok());
+    }
+
+    #[test]
+    fn syntax_errors() {
+        assert!(parse_lcp("", None).is_err());
+        assert!(parse_lcp("d0 1h", None).is_err());
+        assert!(parse_lcp("d0:soon", None).is_err());
+        assert!(parse_lcp("d0:1h -> -> d1:1d", None).is_err());
+        assert!(parse_lcp("city:1h", None).is_err()); // name needs hierarchy
+        assert!(parse_lcp("dx:1h", None).is_err());
+    }
+
+    #[test]
+    fn semantic_errors_bubble_from_automaton() {
+        // decreasing levels
+        assert!(parse_lcp("d1:1h -> d0:1d", None).is_err());
+    }
+
+    #[test]
+    fn case_insensitive_level_names() {
+        let gt = location_tree_fig1();
+        assert!(parse_lcp("ADDRESS:1h -> CITY:1d", Some(&gt)).is_ok());
+    }
+}

@@ -1,0 +1,287 @@
+//! Procedural numeric hierarchies.
+//!
+//! The paper's query preamble `SET ACCURACY LEVEL … RANGE1000 FOR P.SALARY`
+//! treats a numeric domain as an implicit generalization tree whose level-`k`
+//! nodes are aligned intervals of configured widths. A salary of 2340 with
+//! widths `[1, 100, 1000, 10000]` degrades `2340 → [2300,2400) → [2000,3000)
+//! → [0,10000)` — exactly the `SALARY = '2000-3000'` literal of the example.
+//!
+//! Widths must be strictly increasing and each divide the next, so that a
+//! degraded interval always generalizes to a unique coarser interval (the
+//! tree property of Fig. 1 carried over to numbers).
+
+use instant_common::{Error, LevelId, Result, Value};
+
+use crate::hierarchy::Hierarchy;
+
+/// An aligned-interval hierarchy over `i64`.
+#[derive(Debug, Clone)]
+pub struct RangeHierarchy {
+    name: String,
+    /// Interval width per level; `widths[0] == 1` means level 0 is exact.
+    widths: Vec<i64>,
+    /// Domain bounds (inclusive lo, exclusive hi) for the info metric.
+    domain_lo: i64,
+    domain_hi: i64,
+}
+
+impl RangeHierarchy {
+    /// Build a hierarchy named `name` over `[domain_lo, domain_hi)` with the
+    /// given level widths (most accurate first; usually starting with 1).
+    pub fn new(name: &str, widths: &[i64], domain_lo: i64, domain_hi: i64) -> Result<Self> {
+        if widths.len() < 2 {
+            return Err(Error::Policy(format!(
+                "range hierarchy {name} needs at least 2 levels"
+            )));
+        }
+        if domain_hi <= domain_lo {
+            return Err(Error::Policy(format!(
+                "range hierarchy {name}: empty domain [{domain_lo},{domain_hi})"
+            )));
+        }
+        for w in widths {
+            if *w <= 0 {
+                return Err(Error::Policy(format!(
+                    "range hierarchy {name}: widths must be positive"
+                )));
+            }
+        }
+        for pair in widths.windows(2) {
+            if pair[1] <= pair[0] || pair[1] % pair[0] != 0 {
+                return Err(Error::Policy(format!(
+                    "range hierarchy {name}: width {} must be a strict multiple of {}",
+                    pair[1], pair[0]
+                )));
+            }
+        }
+        Ok(RangeHierarchy {
+            name: name.to_string(),
+            widths: widths.to_vec(),
+            domain_lo,
+            domain_hi,
+        })
+    }
+
+    /// The conventional salary hierarchy used throughout examples and
+    /// benchmarks: exact → 100 → 1000 → 10000 over `[0, 1_000_000)`.
+    pub fn salary() -> RangeHierarchy {
+        RangeHierarchy::new("salary", &[1, 100, 1000, 10000], 0, 1_000_000)
+            .expect("static hierarchy is valid")
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn width_at(&self, k: LevelId) -> Result<i64> {
+        self.widths
+            .get(k.0 as usize)
+            .copied()
+            .ok_or_else(|| Error::Accuracy(format!("level d{} out of range", k.0)))
+    }
+
+    fn align(v: i64, width: i64) -> (i64, i64) {
+        let lo = v.div_euclid(width) * width;
+        (lo, lo + width)
+    }
+
+    /// The interval `v` occupies at level `k` (as a `(lo, hi)` pair).
+    pub fn interval_at(&self, v: i64, k: LevelId) -> Result<(i64, i64)> {
+        let w = self.width_at(k)?;
+        Ok(Self::align(v, w))
+    }
+}
+
+impl Hierarchy for RangeHierarchy {
+    fn levels(&self) -> u8 {
+        self.widths.len() as u8
+    }
+
+    fn level_of(&self, v: &Value) -> Option<LevelId> {
+        match v {
+            Value::Int(_) => Some(LevelId(if self.widths[0] == 1 { 0 } else { 0 })),
+            Value::Range { lo, hi } => {
+                let w = hi - lo;
+                self.widths
+                    .iter()
+                    .position(|&x| x == w && lo % x == 0)
+                    .map(|i| LevelId(i as u8))
+            }
+            _ => None,
+        }
+    }
+
+    fn generalize(&self, v: &Value, k: LevelId) -> Result<Value> {
+        let w = self.width_at(k)?;
+        match v {
+            Value::Int(x) => {
+                if w == 1 {
+                    Ok(Value::Int(*x))
+                } else {
+                    let (lo, hi) = Self::align(*x, w);
+                    Ok(Value::Range { lo, hi })
+                }
+            }
+            Value::Range { lo, hi } => {
+                let cur = self.level_of(v).ok_or_else(|| {
+                    Error::NotFound(format!("{v} is not an aligned level of {}", self.name))
+                })?;
+                if cur > k {
+                    return Err(Error::Accuracy(format!(
+                        "level d{} not computable: {v} already degraded to d{}",
+                        k.0, cur.0
+                    )));
+                }
+                let (nlo, nhi) = Self::align(*lo, w);
+                debug_assert!(nlo <= *lo && nhi >= *hi, "coarser interval must contain finer");
+                if w == 1 {
+                    Ok(Value::Int(*lo))
+                } else {
+                    Ok(Value::Range { lo: nlo, hi: nhi })
+                }
+            }
+            other => Err(Error::NotFound(format!(
+                "range hierarchy {} holds integers, got {other}",
+                self.name
+            ))),
+        }
+    }
+
+    fn residual_info(&self, v: &Value, k: LevelId) -> f64 {
+        let domain = (self.domain_hi - self.domain_lo) as f64;
+        if domain <= 1.0 {
+            return 0.0;
+        }
+        let Ok(w) = self.width_at(k) else { return 0.0 };
+        if self.generalize(v, k).is_err() {
+            return 0.0;
+        }
+        ((domain / w as f64).log2() / domain.log2()).clamp(0.0, 1.0)
+    }
+
+    fn level_name(&self, k: LevelId) -> String {
+        match self.widths.get(k.0 as usize) {
+            Some(1) => "exact".to_string(),
+            Some(w) => format!("range{w}"),
+            None => format!("d{}", k.0),
+        }
+    }
+
+    fn cardinality_at(&self, k: LevelId) -> u64 {
+        let w = self.widths.get(k.0 as usize).copied().unwrap_or(1).max(1);
+        (((self.domain_hi - self.domain_lo) as u64).saturating_add(w as u64 - 1)) / w as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_salary_example() {
+        let h = RangeHierarchy::salary();
+        // 2340 at RANGE1000 → the '2000-3000' literal of the paper.
+        assert_eq!(
+            h.generalize(&Value::Int(2340), LevelId(2)).unwrap(),
+            Value::Range { lo: 2000, hi: 3000 }
+        );
+        assert_eq!(
+            h.generalize(&Value::Int(2340), LevelId(2)).unwrap().to_string(),
+            "2000-3000"
+        );
+    }
+
+    #[test]
+    fn level_zero_is_exact() {
+        let h = RangeHierarchy::salary();
+        assert_eq!(
+            h.generalize(&Value::Int(777), LevelId(0)).unwrap(),
+            Value::Int(777)
+        );
+    }
+
+    #[test]
+    fn degraded_interval_generalizes_to_containing_interval() {
+        let h = RangeHierarchy::salary();
+        let r = Value::Range { lo: 2300, hi: 2400 }; // level 1
+        assert_eq!(h.level_of(&r), Some(LevelId(1)));
+        assert_eq!(
+            h.generalize(&r, LevelId(2)).unwrap(),
+            Value::Range { lo: 2000, hi: 3000 }
+        );
+        assert_eq!(
+            h.generalize(&r, LevelId(3)).unwrap(),
+            Value::Range { lo: 0, hi: 10000 }
+        );
+    }
+
+    #[test]
+    fn refinement_rejected() {
+        let h = RangeHierarchy::salary();
+        let r = Value::Range { lo: 2000, hi: 3000 };
+        assert!(matches!(
+            h.generalize(&r, LevelId(1)),
+            Err(Error::Accuracy(_))
+        ));
+    }
+
+    #[test]
+    fn negative_values_align_with_euclidean_division() {
+        let h = RangeHierarchy::new("t", &[1, 10], -100, 100).unwrap();
+        assert_eq!(
+            h.generalize(&Value::Int(-3), LevelId(1)).unwrap(),
+            Value::Range { lo: -10, hi: 0 }
+        );
+    }
+
+    #[test]
+    fn misaligned_range_not_in_domain() {
+        let h = RangeHierarchy::salary();
+        let bogus = Value::Range { lo: 2050, hi: 2150 };
+        assert_eq!(h.level_of(&bogus), None);
+        assert!(h.generalize(&bogus, LevelId(2)).is_err());
+    }
+
+    #[test]
+    fn invalid_configurations_rejected() {
+        assert!(RangeHierarchy::new("x", &[1], 0, 10).is_err());
+        assert!(RangeHierarchy::new("x", &[1, 3, 5], 0, 10).is_err()); // 5 % 3 != 0
+        assert!(RangeHierarchy::new("x", &[2, 1], 0, 10).is_err()); // not increasing
+        assert!(RangeHierarchy::new("x", &[0, 10], 0, 10).is_err()); // zero width
+        assert!(RangeHierarchy::new("x", &[1, 10], 5, 5).is_err()); // empty domain
+    }
+
+    #[test]
+    fn residual_info_monotone() {
+        let h = RangeHierarchy::salary();
+        let v = Value::Int(123_456);
+        let mut prev = f64::INFINITY;
+        for k in 0..h.levels() {
+            let r = h.residual_info(&v, LevelId(k));
+            assert!(r <= prev + 1e-12);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn cardinality_at_levels() {
+        let h = RangeHierarchy::salary();
+        assert_eq!(h.cardinality_at(LevelId(0)), 1_000_000);
+        assert_eq!(h.cardinality_at(LevelId(2)), 1_000);
+        assert_eq!(h.cardinality_at(LevelId(3)), 100);
+    }
+
+    #[test]
+    fn level_names() {
+        let h = RangeHierarchy::salary();
+        assert_eq!(h.level_name(LevelId(0)), "exact");
+        assert_eq!(h.level_name(LevelId(2)), "range1000");
+    }
+
+    #[test]
+    fn non_int_rejected() {
+        let h = RangeHierarchy::salary();
+        assert!(h.generalize(&Value::Str("x".into()), LevelId(1)).is_err());
+        assert_eq!(h.level_of(&Value::Bool(true)), None);
+    }
+}

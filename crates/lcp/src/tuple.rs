@@ -1,0 +1,235 @@
+//! Tuple Life Cycle Policies (paper Fig. 3).
+//!
+//! "A tuple is a composition of stable attributes which do not participate
+//! in the degradation process and degradable attributes. The combination of
+//! LCPs of all degradable attributes makes that, at each independent
+//! attribute transition, the tuple as a whole reaches a new tuple state tk,
+//! until all degradable attributes have reached their final state. A tuple
+//! LCP is thus derived from the combination of each individual attributes'
+//! LCP."
+//!
+//! [`TupleLcp`] computes the merged event timeline (the product automaton's
+//! transition sequence), the tuple state `t_k` at any age, and the expunge
+//! age — "when a tuple is deleted, both stable and degradable attributes are
+//! deleted", which for end-of-life-cycle removal happens once every
+//! degradable attribute has left its final state.
+
+use instant_common::{Duration, LevelId};
+
+use crate::automaton::AttributeLcp;
+
+/// One transition of the tuple LCP timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TupleEvent {
+    /// Age (since tuple insertion) at which the transition fires.
+    pub at: Duration,
+    /// Which degradable attribute moves (index into the LCP list order).
+    pub attr: usize,
+    /// Level entered, or `None` when the attribute value is removed.
+    pub to_level: Option<LevelId>,
+}
+
+/// The product automaton of several attribute LCPs.
+#[derive(Debug, Clone)]
+pub struct TupleLcp {
+    lcps: Vec<AttributeLcp>,
+    events: Vec<TupleEvent>,
+}
+
+impl TupleLcp {
+    /// Combine the LCPs of a tuple's degradable attributes (attribute order
+    /// is the caller's — typically schema order of degradable columns).
+    ///
+    /// Simultaneous transitions of different attributes are ordered by
+    /// attribute index, forming a single deterministic event sequence — each
+    /// event still yields a distinct tuple state, matching "at each
+    /// independent attribute transition, the tuple reaches a new state".
+    pub fn combine(lcps: Vec<AttributeLcp>) -> TupleLcp {
+        let mut events = Vec::new();
+        for (attr, lcp) in lcps.iter().enumerate() {
+            let ages = lcp.transition_ages();
+            for (i, &at) in ages.iter().enumerate() {
+                let to_level = lcp.stages().get(i + 1).map(|s| s.level);
+                events.push(TupleEvent { at, attr, to_level });
+            }
+        }
+        events.sort_by(|a, b| a.at.cmp(&b.at).then(a.attr.cmp(&b.attr)));
+        TupleLcp { lcps, events }
+    }
+
+    /// Per-attribute LCPs in order.
+    pub fn attribute_lcps(&self) -> &[AttributeLcp] {
+        &self.lcps
+    }
+
+    /// The full, ordered transition timeline.
+    pub fn events(&self) -> &[TupleEvent] {
+        &self.events
+    }
+
+    /// Number of tuple states `t_0 … t_n` (events + the initial state).
+    pub fn num_states(&self) -> usize {
+        self.events.len() + 1
+    }
+
+    /// The tuple state index `k` such that the tuple is in `t_k` at `age`:
+    /// the number of transitions that have fired.
+    pub fn state_at(&self, age: Duration) -> usize {
+        self.events.iter().take_while(|e| e.at <= age).count()
+    }
+
+    /// The level vector (one entry per degradable attribute; `None` =
+    /// removed) in force at `age`.
+    pub fn levels_at(&self, age: Duration) -> Vec<Option<LevelId>> {
+        self.lcps.iter().map(|l| l.level_at(age)).collect()
+    }
+
+    /// Age at which the whole tuple is expunged: all degradable attributes
+    /// have reached their final state's end. Zero-attribute tuples never
+    /// expire through degradation.
+    pub fn expunge_age(&self) -> Option<Duration> {
+        self.lcps.iter().map(|l| l.lifetime()).max()
+    }
+
+    /// The shortest step across all attributes — the attack-frequency bound
+    /// of the paper's security claim, now at tuple granularity.
+    pub fn shortest_step(&self) -> Option<Duration> {
+        self.lcps.iter().map(|l| l.shortest_step()).min()
+    }
+
+    /// Is the level vector `ks` computable at `age`? Level `k_i` is
+    /// computable iff attribute `i`'s current level is ≤ `k_i` (still fine
+    /// enough) — the `ST_j ⊆ f_k`-domain condition of the σ/π semantics.
+    pub fn computable_at(&self, age: Duration, ks: &[LevelId]) -> bool {
+        debug_assert_eq!(ks.len(), self.lcps.len());
+        self.lcps
+            .iter()
+            .zip(ks)
+            .all(|(l, k)| matches!(l.level_at(age), Some(cur) if cur <= *k))
+    }
+
+    /// The next transition due strictly after `age`.
+    pub fn next_event_after(&self, age: Duration) -> Option<&TupleEvent> {
+        self.events.iter().find(|e| e.at > age)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instant_common::Duration as D;
+
+    /// Fig. 3 setting: two attributes with interleaving transitions.
+    fn two_attr() -> TupleLcp {
+        // location: d0 1h -> d1 1d -> removed
+        let loc = AttributeLcp::from_pairs(&[(0, D::hours(1)), (1, D::days(1))]).unwrap();
+        // salary: d0 12h -> d1 2d -> removed
+        let sal = AttributeLcp::from_pairs(&[(0, D::hours(12)), (1, D::days(2))]).unwrap();
+        TupleLcp::combine(vec![loc, sal])
+    }
+
+    #[test]
+    fn event_timeline_is_sorted_merge() {
+        let t = two_attr();
+        let ats: Vec<Duration> = t.events().iter().map(|e| e.at).collect();
+        // loc: 1h, 25h ; sal: 12h, 60h  -> merged 1h, 12h, 25h, 60h
+        assert_eq!(
+            ats,
+            vec![D::hours(1), D::hours(12), D::hours(25), D::hours(60)]
+        );
+        let attrs: Vec<usize> = t.events().iter().map(|e| e.attr).collect();
+        assert_eq!(attrs, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn tuple_states_count_transitions() {
+        let t = two_attr();
+        assert_eq!(t.num_states(), 5);
+        assert_eq!(t.state_at(D::ZERO), 0);
+        assert_eq!(t.state_at(D::minutes(30)), 0);
+        assert_eq!(t.state_at(D::hours(1)), 1); // boundary fires
+        assert_eq!(t.state_at(D::hours(13)), 2);
+        assert_eq!(t.state_at(D::hours(26)), 3);
+        assert_eq!(t.state_at(D::hours(61)), 4);
+    }
+
+    #[test]
+    fn level_vectors_track_each_attribute() {
+        let t = two_attr();
+        assert_eq!(
+            t.levels_at(D::ZERO),
+            vec![Some(LevelId(0)), Some(LevelId(0))]
+        );
+        assert_eq!(
+            t.levels_at(D::hours(2)),
+            vec![Some(LevelId(1)), Some(LevelId(0))]
+        );
+        assert_eq!(
+            t.levels_at(D::hours(26)),
+            vec![None, Some(LevelId(1))] // location removed, salary degraded
+        );
+        assert_eq!(t.levels_at(D::hours(61)), vec![None, None]);
+    }
+
+    #[test]
+    fn expunge_when_all_attributes_done() {
+        let t = two_attr();
+        assert_eq!(t.expunge_age(), Some(D::hours(60)));
+        assert_eq!(t.shortest_step(), Some(D::hours(1)));
+    }
+
+    #[test]
+    fn computability_condition() {
+        let t = two_attr();
+        // At 2h: levels are (d1, d0).
+        let age = D::hours(2);
+        assert!(t.computable_at(age, &[LevelId(1), LevelId(0)]));
+        assert!(t.computable_at(age, &[LevelId(1), LevelId(1)])); // coarser ok
+        assert!(!t.computable_at(age, &[LevelId(0), LevelId(0)])); // finer not
+                                                                   // After location removal nothing involving it is computable.
+        assert!(!t.computable_at(D::hours(26), &[LevelId(1), LevelId(1)]));
+    }
+
+    #[test]
+    fn simultaneous_transitions_order_by_attribute() {
+        let a = AttributeLcp::from_pairs(&[(0, D::hours(1))]).unwrap();
+        let b = AttributeLcp::from_pairs(&[(0, D::hours(1))]).unwrap();
+        let t = TupleLcp::combine(vec![a, b]);
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].attr, 0);
+        assert_eq!(t.events()[1].attr, 1);
+        // Both fire at the same instant; state jumps by 2.
+        assert_eq!(t.state_at(D::hours(1)), 2);
+    }
+
+    #[test]
+    fn empty_tuple_lcp() {
+        let t = TupleLcp::combine(vec![]);
+        assert_eq!(t.num_states(), 1);
+        assert_eq!(t.expunge_age(), None);
+        assert_eq!(t.shortest_step(), None);
+        assert!(t.computable_at(D::hours(5), &[]));
+    }
+
+    #[test]
+    fn next_event_after_walks_timeline() {
+        let t = two_attr();
+        let e = t.next_event_after(D::hours(1)).unwrap();
+        assert_eq!(e.at, D::hours(12));
+        assert!(t.next_event_after(D::hours(60)).is_none());
+    }
+
+    #[test]
+    fn final_transition_has_no_target_level() {
+        let t = two_attr();
+        let last_loc = t
+            .events()
+            .iter()
+            .filter(|e| e.attr == 0)
+            .last()
+            .unwrap();
+        assert_eq!(last_loc.to_level, None);
+        let first_loc = t.events().iter().find(|e| e.attr == 0).unwrap();
+        assert_eq!(first_loc.to_level, Some(LevelId(1)));
+    }
+}

@@ -1,0 +1,293 @@
+//! Buffer pool: a fixed number of in-memory frames over a [`DiskManager`],
+//! with LRU eviction and write-back.
+//!
+//! Access is closure-based (`with_page` / `with_page_mut`) — the closure
+//! runs with the frame latched, which keeps the API misuse-proof (no frame
+//! guard can outlive eviction). Degradation workloads are update-heavy, so
+//! dirty tracking matters: a page is only written back when evicted dirty or
+//! on `flush_all` (checkpoint).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use instant_common::{Error, PageId, Result};
+
+use crate::disk::DiskManager;
+use crate::page::Page;
+
+struct Frame {
+    page: Page,
+    dirty: bool,
+    /// LRU clock: larger = more recently used.
+    last_used: u64,
+    pinned: u32,
+}
+
+struct PoolInner {
+    frames: HashMap<PageId, Frame>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Shared buffer pool.
+pub struct BufferPool {
+    disk: Arc<DiskManager>,
+    capacity: usize,
+    inner: Mutex<PoolInner>,
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl BufferPool {
+    /// A pool of `capacity` frames over `disk`.
+    pub fn new(disk: Arc<DiskManager>, capacity: usize) -> BufferPool {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        BufferPool {
+            disk,
+            capacity,
+            inner: Mutex::new(PoolInner {
+                frames: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    pub fn disk(&self) -> &Arc<DiskManager> {
+        &self.disk
+    }
+
+    /// Allocate a fresh page (resident and dirty).
+    pub fn allocate_page(&self) -> Result<PageId> {
+        let id = self.disk.allocate();
+        let mut inner = self.inner.lock();
+        self.make_room(&mut inner)?;
+        let tick = Self::bump(&mut inner);
+        inner.frames.insert(
+            id,
+            Frame {
+                page: Page::new(id),
+                dirty: true,
+                last_used: tick,
+                pinned: 0,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Run `f` with read access to page `id`.
+    pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&Page) -> R) -> Result<R> {
+        let mut inner = self.inner.lock();
+        self.ensure_resident(&mut inner, id)?;
+        let tick = Self::bump(&mut inner);
+        let frame = inner.frames.get_mut(&id).expect("resident");
+        frame.last_used = tick;
+        Ok(f(&frame.page))
+    }
+
+    /// Run `f` with write access to page `id`; marks the frame dirty.
+    pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut Page) -> R) -> Result<R> {
+        let mut inner = self.inner.lock();
+        self.ensure_resident(&mut inner, id)?;
+        let tick = Self::bump(&mut inner);
+        let frame = inner.frames.get_mut(&id).expect("resident");
+        frame.last_used = tick;
+        frame.dirty = true;
+        Ok(f(&mut frame.page))
+    }
+
+    /// Write back every dirty frame and sync (checkpoint support).
+    pub fn flush_all(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        for frame in inner.frames.values_mut() {
+            if frame.dirty {
+                self.disk.write_page(&frame.page)?;
+                frame.dirty = false;
+            }
+        }
+        self.disk.sync()?;
+        Ok(())
+    }
+
+    /// Write back one page if resident and dirty.
+    pub fn flush_page(&self, id: PageId) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if let Some(frame) = inner.frames.get_mut(&id) {
+            if frame.dirty {
+                self.disk.write_page(&frame.page)?;
+                frame.dirty = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drop every clean frame and write back dirty ones — used by tests to
+    /// force re-reads from disk.
+    pub fn clear(&self) -> Result<()> {
+        self.flush_all()?;
+        self.inner.lock().frames.clear();
+        Ok(())
+    }
+
+    /// `(hits, misses, evictions)` counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        let inner = self.inner.lock();
+        (inner.hits, inner.misses, inner.evictions)
+    }
+
+    pub fn resident(&self) -> usize {
+        self.inner.lock().frames.len()
+    }
+
+    fn bump(inner: &mut PoolInner) -> u64 {
+        inner.tick += 1;
+        inner.tick
+    }
+
+    fn ensure_resident(&self, inner: &mut PoolInner, id: PageId) -> Result<()> {
+        if inner.frames.contains_key(&id) {
+            inner.hits += 1;
+            return Ok(());
+        }
+        inner.misses += 1;
+        let page = self.disk.read_page(id)?;
+        self.make_room(inner)?;
+        let tick = Self::bump(inner);
+        inner.frames.insert(
+            id,
+            Frame {
+                page,
+                dirty: false,
+                last_used: tick,
+                pinned: 0,
+            },
+        );
+        Ok(())
+    }
+
+    fn make_room(&self, inner: &mut PoolInner) -> Result<()> {
+        while inner.frames.len() >= self.capacity {
+            let victim = inner
+                .frames
+                .iter()
+                .filter(|(_, f)| f.pinned == 0)
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(id, _)| *id)
+                .ok_or_else(|| Error::Capacity("all buffer frames pinned".into()))?;
+            let frame = inner.frames.remove(&victim).expect("victim resident");
+            if frame.dirty {
+                self.disk.write_page(&frame.page)?;
+            }
+            inner.evictions += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(frames: usize) -> BufferPool {
+        let disk = Arc::new(DiskManager::temp("buf").unwrap());
+        BufferPool::new(disk, frames)
+    }
+
+    #[test]
+    fn allocate_and_access() {
+        let bp = pool(4);
+        let id = bp.allocate_page().unwrap();
+        bp.with_page_mut(id, |p| p.payload_mut()[0] = 0xAA).unwrap();
+        let v = bp.with_page(id, |p| p.payload()[0]).unwrap();
+        assert_eq!(v, 0xAA);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let bp = pool(2);
+        let ids: Vec<PageId> = (0..5).map(|_| bp.allocate_page().unwrap()).collect();
+        for (i, id) in ids.iter().enumerate() {
+            bp.with_page_mut(*id, |p| p.payload_mut()[0] = i as u8)
+                .unwrap();
+        }
+        // Only 2 frames; earlier pages must have been evicted + written.
+        assert!(bp.resident() <= 2);
+        for (i, id) in ids.iter().enumerate() {
+            let v = bp.with_page(*id, |p| p.payload()[0]).unwrap();
+            assert_eq!(v, i as u8, "page {id} must survive eviction");
+        }
+        let (_, _, evictions) = bp.stats();
+        assert!(evictions >= 3);
+    }
+
+    #[test]
+    fn lru_prefers_oldest() {
+        let bp = pool(2);
+        let a = bp.allocate_page().unwrap();
+        let b = bp.allocate_page().unwrap();
+        // Touch a so b is the LRU victim.
+        bp.with_page(a, |_| ()).unwrap();
+        let c = bp.allocate_page().unwrap();
+        // a stays resident; b evicted.
+        assert!(bp.resident() <= 2);
+        let (h0, _, _) = bp.stats();
+        bp.with_page(a, |_| ()).unwrap();
+        let (h1, _, _) = bp.stats();
+        assert_eq!(h1, h0 + 1, "a should still be a hit");
+        let _ = (b, c);
+    }
+
+    #[test]
+    fn flush_all_persists() {
+        let disk = Arc::new(DiskManager::temp("buf-flush").unwrap());
+        let bp = BufferPool::new(disk.clone(), 8);
+        let id = bp.allocate_page().unwrap();
+        bp.with_page_mut(id, |p| p.payload_mut()[..4].copy_from_slice(b"save"))
+            .unwrap();
+        bp.flush_all().unwrap();
+        // Read through a second, independent pool.
+        let bp2 = BufferPool::new(disk, 8);
+        let bytes = bp2.with_page(id, |p| p.payload()[..4].to_vec()).unwrap();
+        assert_eq!(&bytes, b"save");
+    }
+
+    #[test]
+    fn clear_then_reread_from_disk() {
+        let bp = pool(4);
+        let id = bp.allocate_page().unwrap();
+        bp.with_page_mut(id, |p| p.payload_mut()[0] = 7).unwrap();
+        bp.clear().unwrap();
+        assert_eq!(bp.resident(), 0);
+        assert_eq!(bp.with_page(id, |p| p.payload()[0]).unwrap(), 7);
+    }
+
+    #[test]
+    fn hit_miss_counters() {
+        let bp = pool(4);
+        let id = bp.allocate_page().unwrap();
+        bp.clear().unwrap();
+        bp.with_page(id, |_| ()).unwrap(); // miss
+        bp.with_page(id, |_| ()).unwrap(); // hit
+        let (hits, misses, _) = bp.stats();
+        assert_eq!(hits, 1);
+        assert_eq!(misses, 1);
+    }
+
+    #[test]
+    fn missing_page_propagates_not_found() {
+        let bp = pool(2);
+        assert!(bp.with_page(PageId(99), |_| ()).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! # instant-wal
+//!
+//! Write-ahead logging "revisited" for data degradation (paper Section III):
+//! a classical WAL durably retains *every* before/after image, so the log
+//! itself becomes the forensic channel that resurrects degraded states —
+//! the paper (citing Stahlberg et al.) calls out "unintended retention in …
+//! the logs". This crate closes that channel with **cryptographic erasure**:
+//!
+//! * Row payloads in log records are sealed with a stream cipher under a
+//!   **time-windowed key** ([`keystore::KeyStore`]). Once every tuple whose
+//!   images fall in a window has degraded past those images, the window key
+//!   is **shredded** — the ciphertext remains on disk but is information-
+//!   theoretically useless, making the degradation irreversible *in the log*
+//!   without rewriting it.
+//! * Degradation steps log **redo-only after-images**
+//!   ([`record::LogRecord::Degrade`]); the finer pre-image is never written
+//!   to the log in any form.
+//! * Periodic checkpoints flush the store and allow physical truncation of
+//!   the old log ([`writer::Wal::truncate_before`]).
+//!
+//! Recovery ([`recovery`]) is logical redo: committed operations after the
+//! last checkpoint are replayed; records whose window key has been shredded
+//! are surfaced as [`recovery::Op::Unrecoverable`] — by construction these
+//! can only concern states the degradation process had already retired.
+//!
+//! The cipher ([`cipher`]) is a from-scratch ChaCha20 core. **It exists to
+//! model keyed erasure in a dependency-free build, not as audited
+//! production cryptography** (see DESIGN.md, substitution table).
+
+pub mod cipher;
+pub mod keystore;
+pub mod record;
+pub mod recovery;
+pub mod writer;
+
+pub use keystore::KeyStore;
+pub use record::{LogRecord, Lsn, Payload};
+pub use writer::Wal;

@@ -1,0 +1,507 @@
+//! Log record types and their binary format.
+//!
+//! Design points driven by the paper:
+//!
+//! * [`LogRecord::Degrade`] carries **only the after-image** (redo-only).
+//!   A degradation step never logs the finer pre-image, in any encoding —
+//!   logging it would re-open the forensic channel the whole mechanism
+//!   exists to close.
+//! * Row images ride in a [`Payload`], which is either `Plain` (classical
+//!   WAL mode, used as the baseline in experiment E10/E8) or `Sealed`
+//!   (ciphertext + window id + nonce). Once the window key is shredded a
+//!   `Sealed` payload can never be opened again.
+//! * Every record is framed by the writer with a length + FNV checksum so
+//!   torn tails are detected and recovery stops cleanly.
+
+use instant_common::codec::raw;
+use instant_common::{ColumnId, Error, LevelId, Result, TableId, Timestamp, TupleId, TxId};
+
+use crate::cipher;
+use crate::keystore::{KeyStore, WindowId};
+
+/// Log sequence number (1-based; 0 = "none").
+pub type Lsn = u64;
+
+/// A row image, possibly sealed under a window key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// Plaintext image — the classical-WAL baseline.
+    Plain(Vec<u8>),
+    /// Ciphertext under `window`'s key with a per-record nonce.
+    Sealed {
+        window: WindowId,
+        nonce: u64,
+        ct: Vec<u8>,
+    },
+}
+
+impl Payload {
+    /// Seal `bytes` under the key for `now`.
+    pub fn seal(ks: &KeyStore, now: Timestamp, bytes: &[u8]) -> Result<Payload> {
+        let (window, key) = ks.key_for(now)?;
+        let nonce = ks.next_nonce();
+        Ok(Payload::Sealed {
+            window,
+            nonce,
+            ct: cipher::seal(&key, nonce, bytes),
+        })
+    }
+
+    /// Open the payload. `None` when the window key has been shredded —
+    /// the image is gone for good.
+    pub fn open(&self, ks: &KeyStore) -> Option<Vec<u8>> {
+        match self {
+            Payload::Plain(b) => Some(b.clone()),
+            Payload::Sealed { window, nonce, ct } => {
+                let key = ks.key_of(*window)?;
+                Some(cipher::open(&key, *nonce, ct))
+            }
+        }
+    }
+
+    /// Byte length of the carried image.
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::Plain(b) => b.len(),
+            Payload::Sealed { ct, .. } => ct.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn is_sealed(&self) -> bool {
+        matches!(self, Payload::Sealed { .. })
+    }
+}
+
+/// One WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogRecord {
+    /// Transaction start.
+    Begin { tx: TxId, at: Timestamp },
+    /// Transaction commit — the durability point.
+    Commit { tx: TxId, at: Timestamp },
+    /// Transaction abort.
+    Abort { tx: TxId, at: Timestamp },
+    /// Tuple insertion (always at the most accurate state, per Section II).
+    Insert {
+        tx: TxId,
+        table: TableId,
+        tid: TupleId,
+        /// Full row image at insert (the *accurate* state — sealed in
+        /// degradation-aware mode precisely because it is the most
+        /// sensitive image in the whole log).
+        row: Payload,
+        at: Timestamp,
+    },
+    /// Stable-attribute update (degradable attributes are immutable).
+    Update {
+        tx: TxId,
+        table: TableId,
+        tid: TupleId,
+        /// Full row after-image.
+        row: Payload,
+        at: Timestamp,
+    },
+    /// One degradation step of one tuple: redo-only after-image.
+    Degrade {
+        tx: TxId,
+        table: TableId,
+        tid: TupleId,
+        /// Which degradable attribute moved.
+        column: ColumnId,
+        /// Level entered (`None` = attribute value removed).
+        to_level: Option<LevelId>,
+        /// Full row after-image (already degraded — safe to log).
+        row: Payload,
+        at: Timestamp,
+    },
+    /// User deletion (predicate-selected); tuple fully removed.
+    Delete {
+        tx: TxId,
+        table: TableId,
+        tid: TupleId,
+        at: Timestamp,
+    },
+    /// End-of-life-cycle removal of the entire tuple by the degrader.
+    Expunge {
+        tx: TxId,
+        table: TableId,
+        tid: TupleId,
+        at: Timestamp,
+    },
+    /// Checkpoint: all dirty pages flushed; log before this is dead.
+    Checkpoint { at: Timestamp },
+}
+
+impl LogRecord {
+    pub fn tx(&self) -> Option<TxId> {
+        match self {
+            LogRecord::Begin { tx, .. }
+            | LogRecord::Commit { tx, .. }
+            | LogRecord::Abort { tx, .. }
+            | LogRecord::Insert { tx, .. }
+            | LogRecord::Update { tx, .. }
+            | LogRecord::Degrade { tx, .. }
+            | LogRecord::Delete { tx, .. }
+            | LogRecord::Expunge { tx, .. } => Some(*tx),
+            LogRecord::Checkpoint { .. } => None,
+        }
+    }
+
+    pub fn at(&self) -> Timestamp {
+        match self {
+            LogRecord::Begin { at, .. }
+            | LogRecord::Commit { at, .. }
+            | LogRecord::Abort { at, .. }
+            | LogRecord::Insert { at, .. }
+            | LogRecord::Update { at, .. }
+            | LogRecord::Degrade { at, .. }
+            | LogRecord::Delete { at, .. }
+            | LogRecord::Expunge { at, .. }
+            | LogRecord::Checkpoint { at } => *at,
+        }
+    }
+
+    /// Serialize (without framing — the writer adds length + checksum).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            LogRecord::Begin { tx, at } => {
+                out.push(1);
+                raw::put_u64(&mut out, tx.0);
+                raw::put_u64(&mut out, at.0);
+            }
+            LogRecord::Commit { tx, at } => {
+                out.push(2);
+                raw::put_u64(&mut out, tx.0);
+                raw::put_u64(&mut out, at.0);
+            }
+            LogRecord::Abort { tx, at } => {
+                out.push(3);
+                raw::put_u64(&mut out, tx.0);
+                raw::put_u64(&mut out, at.0);
+            }
+            LogRecord::Insert {
+                tx,
+                table,
+                tid,
+                row,
+                at,
+            } => {
+                out.push(4);
+                raw::put_u64(&mut out, tx.0);
+                raw::put_u32(&mut out, table.0);
+                raw::put_u64(&mut out, tid.pack());
+                raw::put_u64(&mut out, at.0);
+                encode_payload(&mut out, row);
+            }
+            LogRecord::Update {
+                tx,
+                table,
+                tid,
+                row,
+                at,
+            } => {
+                out.push(5);
+                raw::put_u64(&mut out, tx.0);
+                raw::put_u32(&mut out, table.0);
+                raw::put_u64(&mut out, tid.pack());
+                raw::put_u64(&mut out, at.0);
+                encode_payload(&mut out, row);
+            }
+            LogRecord::Degrade {
+                tx,
+                table,
+                tid,
+                column,
+                to_level,
+                row,
+                at,
+            } => {
+                out.push(6);
+                raw::put_u64(&mut out, tx.0);
+                raw::put_u32(&mut out, table.0);
+                raw::put_u64(&mut out, tid.pack());
+                raw::put_u16(&mut out, column.0);
+                out.push(match to_level {
+                    Some(l) => l.0 + 1,
+                    None => 0,
+                });
+                raw::put_u64(&mut out, at.0);
+                encode_payload(&mut out, row);
+            }
+            LogRecord::Delete { tx, table, tid, at } => {
+                out.push(7);
+                raw::put_u64(&mut out, tx.0);
+                raw::put_u32(&mut out, table.0);
+                raw::put_u64(&mut out, tid.pack());
+                raw::put_u64(&mut out, at.0);
+            }
+            LogRecord::Expunge { tx, table, tid, at } => {
+                out.push(8);
+                raw::put_u64(&mut out, tx.0);
+                raw::put_u32(&mut out, table.0);
+                raw::put_u64(&mut out, tid.pack());
+                raw::put_u64(&mut out, at.0);
+            }
+            LogRecord::Checkpoint { at } => {
+                out.push(9);
+                raw::put_u64(&mut out, at.0);
+            }
+        }
+        out
+    }
+
+    /// Deserialize a record encoded by [`LogRecord::encode`].
+    pub fn decode(mut buf: &[u8]) -> Result<LogRecord> {
+        let buf = &mut buf;
+        let tag = take_u8(buf)?;
+        let rec = match tag {
+            1 => LogRecord::Begin {
+                tx: TxId(raw::get_u64(buf)?),
+                at: Timestamp(raw::get_u64(buf)?),
+            },
+            2 => LogRecord::Commit {
+                tx: TxId(raw::get_u64(buf)?),
+                at: Timestamp(raw::get_u64(buf)?),
+            },
+            3 => LogRecord::Abort {
+                tx: TxId(raw::get_u64(buf)?),
+                at: Timestamp(raw::get_u64(buf)?),
+            },
+            4 | 5 => {
+                let tx = TxId(raw::get_u64(buf)?);
+                let table = TableId(raw::get_u32(buf)?);
+                let tid = TupleId::unpack(raw::get_u64(buf)?);
+                let at = Timestamp(raw::get_u64(buf)?);
+                let row = decode_payload(buf)?;
+                if tag == 4 {
+                    LogRecord::Insert {
+                        tx,
+                        table,
+                        tid,
+                        row,
+                        at,
+                    }
+                } else {
+                    LogRecord::Update {
+                        tx,
+                        table,
+                        tid,
+                        row,
+                        at,
+                    }
+                }
+            }
+            6 => {
+                let tx = TxId(raw::get_u64(buf)?);
+                let table = TableId(raw::get_u32(buf)?);
+                let tid = TupleId::unpack(raw::get_u64(buf)?);
+                let column = ColumnId(raw::get_u16(buf)?);
+                let lv = take_u8(buf)?;
+                let to_level = if lv == 0 { None } else { Some(LevelId(lv - 1)) };
+                let at = Timestamp(raw::get_u64(buf)?);
+                let row = decode_payload(buf)?;
+                LogRecord::Degrade {
+                    tx,
+                    table,
+                    tid,
+                    column,
+                    to_level,
+                    row,
+                    at,
+                }
+            }
+            7 | 8 => {
+                let tx = TxId(raw::get_u64(buf)?);
+                let table = TableId(raw::get_u32(buf)?);
+                let tid = TupleId::unpack(raw::get_u64(buf)?);
+                let at = Timestamp(raw::get_u64(buf)?);
+                if tag == 7 {
+                    LogRecord::Delete { tx, table, tid, at }
+                } else {
+                    LogRecord::Expunge { tx, table, tid, at }
+                }
+            }
+            9 => LogRecord::Checkpoint {
+                at: Timestamp(raw::get_u64(buf)?),
+            },
+            other => return Err(Error::Corrupt(format!("unknown log record tag {other}"))),
+        };
+        if !buf.is_empty() {
+            return Err(Error::Corrupt(format!(
+                "{} trailing bytes in log record",
+                buf.len()
+            )));
+        }
+        Ok(rec)
+    }
+}
+
+fn encode_payload(out: &mut Vec<u8>, p: &Payload) {
+    match p {
+        Payload::Plain(b) => {
+            out.push(0);
+            raw::put_bytes(out, b);
+        }
+        Payload::Sealed { window, nonce, ct } => {
+            out.push(1);
+            raw::put_u64(out, window.0);
+            raw::put_u64(out, *nonce);
+            raw::put_bytes(out, ct);
+        }
+    }
+}
+
+fn decode_payload(buf: &mut &[u8]) -> Result<Payload> {
+    match take_u8(buf)? {
+        0 => Ok(Payload::Plain(raw::get_bytes(buf)?)),
+        1 => Ok(Payload::Sealed {
+            window: WindowId(raw::get_u64(buf)?),
+            nonce: raw::get_u64(buf)?,
+            ct: raw::get_bytes(buf)?,
+        }),
+        other => Err(Error::Corrupt(format!("unknown payload tag {other}"))),
+    }
+}
+
+fn take_u8(buf: &mut &[u8]) -> Result<u8> {
+    if buf.is_empty() {
+        return Err(Error::Corrupt("truncated log record".into()));
+    }
+    let b = buf[0];
+    *buf = &buf[1..];
+    Ok(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instant_common::Duration;
+
+    fn samples() -> Vec<LogRecord> {
+        let t = Timestamp::micros(99);
+        vec![
+            LogRecord::Begin { tx: TxId(1), at: t },
+            LogRecord::Commit { tx: TxId(1), at: t },
+            LogRecord::Abort { tx: TxId(2), at: t },
+            LogRecord::Insert {
+                tx: TxId(3),
+                table: TableId(7),
+                tid: TupleId::new(4, 5),
+                row: Payload::Plain(b"row-bytes".to_vec()),
+                at: t,
+            },
+            LogRecord::Update {
+                tx: TxId(3),
+                table: TableId(7),
+                tid: TupleId::new(4, 5),
+                row: Payload::Sealed {
+                    window: WindowId(12),
+                    nonce: 34,
+                    ct: vec![1, 2, 3],
+                },
+                at: t,
+            },
+            LogRecord::Degrade {
+                tx: TxId(0),
+                table: TableId(7),
+                tid: TupleId::new(4, 5),
+                column: ColumnId(2),
+                to_level: Some(LevelId(1)),
+                row: Payload::Plain(b"degraded".to_vec()),
+                at: t,
+            },
+            LogRecord::Degrade {
+                tx: TxId(0),
+                table: TableId(7),
+                tid: TupleId::new(4, 5),
+                column: ColumnId(2),
+                to_level: None,
+                row: Payload::Plain(vec![]),
+                at: t,
+            },
+            LogRecord::Delete {
+                tx: TxId(9),
+                table: TableId(7),
+                tid: TupleId::new(1, 2),
+                at: t,
+            },
+            LogRecord::Expunge {
+                tx: TxId(0),
+                table: TableId(7),
+                tid: TupleId::new(1, 3),
+                at: t,
+            },
+            LogRecord::Checkpoint { at: t },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for rec in samples() {
+            let bytes = rec.encode();
+            let back = LogRecord::decode(&bytes).unwrap();
+            assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn truncated_records_rejected() {
+        for rec in samples() {
+            let bytes = rec.encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    LogRecord::decode(&bytes[..cut]).is_err(),
+                    "truncation at {cut} of {rec:?} must fail"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = LogRecord::Checkpoint {
+            at: Timestamp::ZERO,
+        }
+        .encode();
+        bytes.push(0);
+        assert!(LogRecord::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn sealed_payload_round_trip_through_keystore() {
+        let ks = KeyStore::new(Duration::hours(1), 42);
+        let now = Timestamp::micros(1_000);
+        let p = Payload::seal(&ks, now, b"accurate address").unwrap();
+        assert!(p.is_sealed());
+        assert_eq!(p.open(&ks).unwrap(), b"accurate address");
+        // Shred → unrecoverable.
+        ks.shred_before(now + Duration::hours(5));
+        assert_eq!(p.open(&ks), None);
+    }
+
+    #[test]
+    fn sealed_ciphertext_differs_from_plaintext() {
+        let ks = KeyStore::new(Duration::hours(1), 42);
+        let p = Payload::seal(&ks, Timestamp::ZERO, b"SENSITIVE").unwrap();
+        match &p {
+            Payload::Sealed { ct, .. } => assert_ne!(ct.as_slice(), b"SENSITIVE"),
+            _ => panic!("expected sealed"),
+        }
+    }
+
+    #[test]
+    fn tx_and_at_accessors() {
+        let t = Timestamp::micros(5);
+        assert_eq!(
+            LogRecord::Begin { tx: TxId(7), at: t }.tx(),
+            Some(TxId(7))
+        );
+        assert_eq!(LogRecord::Checkpoint { at: t }.tx(), None);
+        assert_eq!(LogRecord::Checkpoint { at: t }.at(), t);
+    }
+}

@@ -1,0 +1,414 @@
+//! The log file: append, iterate, truncate, forensic view.
+//!
+//! Framing per record: `len: u32 | fnv1a(bytes): u64 | bytes`. Appends are
+//! buffered; `sync()` flushes and fsyncs (called at commit — group commit
+//! simply batches appends between syncs). Iteration stops at the first
+//! frame whose checksum fails or whose length overruns the file: a torn
+//! tail from a crash mid-write loses at most the unsynced suffix, which by
+//! WAL discipline contains no committed work.
+//!
+//! `truncate_before(lsn)` physically drops records below an LSN (after a
+//! checkpoint) by rewriting the retained suffix — this is the *physical*
+//! counterpart to key shredding: shredding makes old images unreadable
+//! immediately; truncation eventually reclaims and destroys the bytes too.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+
+use instant_common::codec::fnv1a;
+use instant_common::{Error, Result};
+
+use crate::record::{LogRecord, Lsn};
+
+struct WalInner {
+    writer: BufWriter<File>,
+    next_lsn: Lsn,
+    /// LSN of the first record still physically present.
+    base_lsn: Lsn,
+    syncs: u64,
+    appended: u64,
+}
+
+/// An append-only write-ahead log.
+pub struct Wal {
+    path: PathBuf,
+    inner: Mutex<WalInner>,
+    ephemeral: bool,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal").field("path", &self.path).finish()
+    }
+}
+
+impl Wal {
+    /// Open (or create) the log at `path`, scanning to find the next LSN.
+    pub fn open(path: impl AsRef<Path>) -> Result<Wal> {
+        let path = path.as_ref().to_path_buf();
+        let (records, base_lsn) = Self::read_all(&path)?;
+        let next_lsn = base_lsn + records.len() as u64;
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(&path)?;
+        Ok(Wal {
+            path,
+            inner: Mutex::new(WalInner {
+                writer: BufWriter::new(file),
+                next_lsn,
+                base_lsn,
+                syncs: 0,
+                appended: 0,
+            }),
+            ephemeral: false,
+        })
+    }
+
+    /// Throwaway log in the temp directory, removed on drop.
+    pub fn temp(tag: &str) -> Result<Wal> {
+        use std::time::{SystemTime, UNIX_EPOCH};
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap()
+            .as_nanos();
+        let path = std::env::temp_dir().join(format!(
+            "instantdb-wal-{tag}-{}-{nanos}.log",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Self::open(path)?;
+        wal.ephemeral = true;
+        Ok(wal)
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append a record, returning its LSN. Buffered — call [`Wal::sync`]
+    /// at commit points.
+    pub fn append(&self, rec: &LogRecord) -> Result<Lsn> {
+        let bytes = rec.encode();
+        let mut inner = self.inner.lock();
+        let lsn = inner.next_lsn;
+        inner.next_lsn += 1;
+        inner.appended += 1;
+        let frame_len = bytes.len() as u32;
+        inner.writer.write_all(&frame_len.to_le_bytes())?;
+        inner.writer.write_all(&fnv1a(&bytes).to_le_bytes())?;
+        inner.writer.write_all(&bytes)?;
+        Ok(lsn)
+    }
+
+    /// Flush buffers and fsync — the durability point.
+    pub fn sync(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner.writer.flush()?;
+        inner.writer.get_ref().sync_all()?;
+        inner.syncs += 1;
+        Ok(())
+    }
+
+    /// `(appended records, fsync calls)` since open.
+    pub fn counters(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.appended, inner.syncs)
+    }
+
+    /// Next LSN to be assigned.
+    pub fn next_lsn(&self) -> Lsn {
+        self.inner.lock().next_lsn
+    }
+
+    /// LSN of the first physically retained record.
+    pub fn base_lsn(&self) -> Lsn {
+        self.inner.lock().base_lsn
+    }
+
+    /// Read every intact record: `(lsn, record)` pairs. Stops at the first
+    /// torn/corrupt frame.
+    pub fn iterate(&self) -> Result<Vec<(Lsn, LogRecord)>> {
+        {
+            let mut inner = self.inner.lock();
+            inner.writer.flush()?;
+        }
+        let (raw, base) = Self::read_all(&self.path)?;
+        Ok(raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (base + i as u64, r))
+            .collect())
+    }
+
+    /// Physically drop all records with `lsn < keep_from` (post-checkpoint
+    /// truncation). Rewrites the retained suffix to a fresh file.
+    pub fn truncate_before(&self, keep_from: Lsn) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        inner.writer.flush()?;
+        let (records, base) = Self::read_all(&self.path)?;
+        let keep_idx = keep_from.saturating_sub(base).min(records.len() as u64) as usize;
+        let dropped = keep_idx as u64;
+        let tmp = self.path.with_extension("log.tmp");
+        {
+            let mut f = BufWriter::new(File::create(&tmp)?);
+            // New header: base LSN marker frame.
+            f.write_all(b"WALB")?;
+            f.write_all(&(base + dropped).to_le_bytes())?;
+            for rec in &records[keep_idx..] {
+                let bytes = rec.encode();
+                f.write_all(&(bytes.len() as u32).to_le_bytes())?;
+                f.write_all(&fnv1a(&bytes).to_le_bytes())?;
+                f.write_all(&bytes)?;
+            }
+            f.flush()?;
+            f.get_ref().sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        let file = OpenOptions::new().append(true).read(true).open(&self.path)?;
+        inner.writer = BufWriter::new(file);
+        inner.base_lsn = base + dropped;
+        Ok(dropped)
+    }
+
+    /// Raw on-disk log bytes (forensic attacker's view).
+    pub fn raw_image(&self) -> Result<Vec<u8>> {
+        {
+            let mut inner = self.inner.lock();
+            inner.writer.flush()?;
+        }
+        let mut f = File::open(&self.path)?;
+        let mut out = Vec::new();
+        f.read_to_end(&mut out)?;
+        Ok(out)
+    }
+
+    /// Parse a log file: returns `(records, base_lsn)`. Tolerates a torn
+    /// tail (stops), rejects nothing else.
+    fn read_all(path: &Path) -> Result<(Vec<LogRecord>, Lsn)> {
+        let mut file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+            Err(e) => return Err(e.into()),
+        };
+        let mut buf = Vec::new();
+        file.seek(SeekFrom::Start(0))?;
+        file.read_to_end(&mut buf)?;
+        let mut pos = 0usize;
+        let mut base_lsn: Lsn = 0;
+        // Optional base marker written by truncation.
+        if buf.len() >= 12 && &buf[0..4] == b"WALB" {
+            base_lsn = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+            pos = 12;
+        }
+        let mut records = Vec::new();
+        while pos + 12 <= buf.len() {
+            let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+            let sum = u64::from_le_bytes(buf[pos + 4..pos + 12].try_into().unwrap());
+            let start = pos + 12;
+            let end = start + len;
+            if end > buf.len() {
+                break; // torn tail
+            }
+            let body = &buf[start..end];
+            if fnv1a(body) != sum {
+                break; // corrupt frame — stop here
+            }
+            match LogRecord::decode(body) {
+                Ok(rec) => records.push(rec),
+                Err(_) => break,
+            }
+            pos = end;
+        }
+        Ok((records, base_lsn))
+    }
+
+    /// Simulate a crash that loses the last `n` *bytes* of the file (torn
+    /// write). Test/experiment hook.
+    pub fn torn_tail(&self, n: u64) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner.writer.flush()?;
+        let f = OpenOptions::new().write(true).open(&self.path)?;
+        let len = f.metadata()?.len();
+        f.set_len(len.saturating_sub(n))?;
+        drop(f);
+        let file = OpenOptions::new().append(true).read(true).open(&self.path)?;
+        inner.writer = BufWriter::new(file);
+        Ok(())
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        if self.ephemeral {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+/// Helper for benches: total on-disk size of the log in bytes.
+pub fn log_size(wal: &Wal) -> Result<u64> {
+    Ok(std::fs::metadata(wal.path())
+        .map(|m| m.len())
+        .map_err(Error::from)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Payload;
+    use instant_common::{TableId, Timestamp, TupleId, TxId};
+
+    fn rec(i: u64) -> LogRecord {
+        LogRecord::Insert {
+            tx: TxId(i),
+            table: TableId(1),
+            tid: TupleId::new(1, i as u16),
+            row: Payload::Plain(format!("row-{i}").into_bytes()),
+            at: Timestamp::micros(i),
+        }
+    }
+
+    #[test]
+    fn append_iterate_round_trip() {
+        let wal = Wal::temp("w1").unwrap();
+        for i in 0..10 {
+            let lsn = wal.append(&rec(i)).unwrap();
+            assert_eq!(lsn, i);
+        }
+        wal.sync().unwrap();
+        let records = wal.iterate().unwrap();
+        assert_eq!(records.len(), 10);
+        for (i, (lsn, r)) in records.iter().enumerate() {
+            assert_eq!(*lsn, i as u64);
+            assert_eq!(r, &rec(i as u64));
+        }
+    }
+
+    #[test]
+    fn reopen_continues_lsns() {
+        let path = std::env::temp_dir().join(format!(
+            "instantdb-wal-reopen-{}.log",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let wal = Wal::open(&path).unwrap();
+            wal.append(&rec(0)).unwrap();
+            wal.append(&rec(1)).unwrap();
+            wal.sync().unwrap();
+        }
+        {
+            let wal = Wal::open(&path).unwrap();
+            assert_eq!(wal.next_lsn(), 2);
+            let lsn = wal.append(&rec(2)).unwrap();
+            assert_eq!(lsn, 2);
+            wal.sync().unwrap();
+            assert_eq!(wal.iterate().unwrap().len(), 3);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_detected_and_dropped() {
+        let wal = Wal::temp("w2").unwrap();
+        for i in 0..5 {
+            wal.append(&rec(i)).unwrap();
+        }
+        wal.sync().unwrap();
+        // Chop 3 bytes off the last frame.
+        wal.torn_tail(3).unwrap();
+        let records = wal.iterate().unwrap();
+        assert_eq!(records.len(), 4, "torn final record must be dropped");
+    }
+
+    #[test]
+    fn corrupt_middle_frame_stops_iteration() {
+        let wal = Wal::temp("w3").unwrap();
+        for i in 0..5 {
+            wal.append(&rec(i)).unwrap();
+        }
+        wal.sync().unwrap();
+        // Flip a byte near the middle of the file.
+        let img = wal.raw_image().unwrap();
+        let mid = img.len() / 2;
+        {
+            use std::io::{Seek, SeekFrom, Write};
+            let mut f = OpenOptions::new().write(true).open(wal.path()).unwrap();
+            f.seek(SeekFrom::Start(mid as u64)).unwrap();
+            f.write_all(&[0xFF]).unwrap();
+        }
+        let records = wal.iterate().unwrap();
+        assert!(records.len() < 5, "corruption must truncate the usable log");
+    }
+
+    #[test]
+    fn truncate_before_drops_prefix() {
+        let wal = Wal::temp("w4").unwrap();
+        for i in 0..10 {
+            wal.append(&rec(i)).unwrap();
+        }
+        wal.sync().unwrap();
+        let dropped = wal.truncate_before(6).unwrap();
+        assert_eq!(dropped, 6);
+        assert_eq!(wal.base_lsn(), 6);
+        let records = wal.iterate().unwrap();
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[0].0, 6);
+        assert_eq!(records[0].1, rec(6));
+        // Appends continue with correct LSNs.
+        let lsn = wal.append(&rec(10)).unwrap();
+        assert_eq!(lsn, 10);
+        wal.sync().unwrap();
+        assert_eq!(wal.iterate().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn truncation_physically_destroys_bytes() {
+        let wal = Wal::temp("w5").unwrap();
+        wal.append(&LogRecord::Insert {
+            tx: TxId(1),
+            table: TableId(1),
+            tid: TupleId::new(1, 1),
+            row: Payload::Plain(b"DESTROY-ME".to_vec()),
+            at: Timestamp::ZERO,
+        })
+        .unwrap();
+        wal.append(&rec(99)).unwrap();
+        wal.sync().unwrap();
+        assert!(wal
+            .raw_image()
+            .unwrap()
+            .windows(10)
+            .any(|w| w == b"DESTROY-ME"));
+        wal.truncate_before(1).unwrap();
+        assert!(
+            !wal.raw_image()
+                .unwrap()
+                .windows(10)
+                .any(|w| w == b"DESTROY-ME"),
+            "truncated bytes must be physically gone"
+        );
+    }
+
+    #[test]
+    fn counters_track_appends_and_syncs() {
+        let wal = Wal::temp("w6").unwrap();
+        wal.append(&rec(0)).unwrap();
+        wal.append(&rec(1)).unwrap();
+        wal.sync().unwrap();
+        wal.sync().unwrap();
+        assert_eq!(wal.counters(), (2, 2));
+    }
+
+    #[test]
+    fn empty_log_iterates_empty() {
+        let wal = Wal::temp("w7").unwrap();
+        assert!(wal.iterate().unwrap().is_empty());
+        assert_eq!(wal.next_lsn(), 0);
+    }
+}

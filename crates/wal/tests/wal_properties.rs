@@ -1,0 +1,176 @@
+//! Property tests for the WAL: arbitrary record sequences survive the
+//! encode → frame → file → parse pipeline; torn tails lose only a suffix;
+//! sealing round-trips for live windows and never for shredded ones.
+
+use instant_common::{ColumnId, Duration, LevelId, TableId, Timestamp, TupleId, TxId};
+use instant_wal::keystore::KeyStore;
+use instant_wal::record::{LogRecord, Payload};
+use instant_wal::recovery;
+use instant_wal::Wal;
+use proptest::prelude::*;
+
+fn arb_payload() -> impl Strategy<Value = Payload> {
+    proptest::collection::vec(any::<u8>(), 0..64).prop_map(Payload::Plain)
+}
+
+fn arb_record() -> impl Strategy<Value = LogRecord> {
+    let t = 0u64..1_000_000;
+    prop_oneof![
+        (0u64..100, t.clone()).prop_map(|(tx, at)| LogRecord::Begin {
+            tx: TxId(tx),
+            at: Timestamp(at)
+        }),
+        (0u64..100, t.clone()).prop_map(|(tx, at)| LogRecord::Commit {
+            tx: TxId(tx),
+            at: Timestamp(at)
+        }),
+        (0u64..100, t.clone()).prop_map(|(tx, at)| LogRecord::Abort {
+            tx: TxId(tx),
+            at: Timestamp(at)
+        }),
+        (0u64..100, 0u32..10, 0u64..1000, arb_payload(), t.clone()).prop_map(
+            |(tx, table, tid, row, at)| LogRecord::Insert {
+                tx: TxId(tx),
+                table: TableId(table),
+                tid: TupleId::unpack(tid),
+                row,
+                at: Timestamp(at),
+            }
+        ),
+        (0u64..100, 0u32..10, 0u64..1000, 0u16..8, proptest::option::of(0u8..4), arb_payload(), t.clone())
+            .prop_map(|(tx, table, tid, col, lv, row, at)| LogRecord::Degrade {
+                tx: TxId(tx),
+                table: TableId(table),
+                tid: TupleId::unpack(tid),
+                column: ColumnId(col),
+                to_level: lv.map(LevelId),
+                row,
+                at: Timestamp(at),
+            }),
+        (0u64..100, 0u32..10, 0u64..1000, t.clone()).prop_map(|(tx, table, tid, at)| {
+            LogRecord::Expunge {
+                tx: TxId(tx),
+                table: TableId(table),
+                tid: TupleId::unpack(tid),
+                at: Timestamp(at),
+            }
+        }),
+        t.prop_map(|at| LogRecord::Checkpoint { at: Timestamp(at) }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn file_round_trip(records in proptest::collection::vec(arb_record(), 0..60)) {
+        let wal = Wal::temp("prop-rt").unwrap();
+        for r in &records {
+            wal.append(r).unwrap();
+        }
+        wal.sync().unwrap();
+        let back = wal.iterate().unwrap();
+        prop_assert_eq!(back.len(), records.len());
+        for ((lsn, got), (i, want)) in back.iter().zip(records.iter().enumerate()) {
+            prop_assert_eq!(*lsn, i as u64);
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_prefix(records in proptest::collection::vec(arb_record(), 1..40), cut in 1u64..200) {
+        let wal = Wal::temp("prop-torn").unwrap();
+        for r in &records {
+            wal.append(r).unwrap();
+        }
+        wal.sync().unwrap();
+        wal.torn_tail(cut).unwrap();
+        let back = wal.iterate().unwrap();
+        prop_assert!(back.len() <= records.len());
+        for ((_, got), want) in back.iter().zip(records.iter()) {
+            prop_assert_eq!(got, want, "surviving prefix must be unmodified");
+        }
+    }
+
+    #[test]
+    fn truncation_drops_exact_prefix(
+        records in proptest::collection::vec(arb_record(), 1..40),
+        keep_at in any::<prop::sample::Index>(),
+    ) {
+        let wal = Wal::temp("prop-trunc").unwrap();
+        for r in &records {
+            wal.append(r).unwrap();
+        }
+        wal.sync().unwrap();
+        let keep_from = keep_at.index(records.len() + 1) as u64;
+        let dropped = wal.truncate_before(keep_from).unwrap();
+        prop_assert_eq!(dropped, keep_from.min(records.len() as u64));
+        let back = wal.iterate().unwrap();
+        prop_assert_eq!(back.len() as u64, records.len() as u64 - dropped);
+        for (lsn, got) in &back {
+            prop_assert_eq!(got, &records[*lsn as usize]);
+        }
+    }
+
+    #[test]
+    fn sealing_round_trips_until_shredded(
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+        at_hours in 0u64..48,
+    ) {
+        let ks = KeyStore::new(Duration::hours(1), 1234);
+        let at = Timestamp::ZERO + Duration::hours(at_hours);
+        let sealed = Payload::seal(&ks, at, &body).unwrap();
+        prop_assert_eq!(sealed.open(&ks), Some(body.clone()));
+        // Shred everything up to and including that window.
+        ks.shred_before(at + Duration::hours(1));
+        prop_assert_eq!(sealed.open(&ks), None);
+    }
+
+    /// Recovery only ever replays committed transactions, for arbitrary
+    /// interleavings.
+    #[test]
+    fn recovery_replays_only_committed(records in proptest::collection::vec(arb_record(), 0..80)) {
+        let ks = KeyStore::new(Duration::hours(1), 1);
+        let seq: Vec<(u64, LogRecord)> = records
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, r)| (i as u64, r))
+            .collect();
+        let plan = recovery::replay(&seq, &ks);
+        // Find last checkpoint; compute committed txs of the suffix.
+        let ckpt = seq
+            .iter()
+            .filter(|(_, r)| matches!(r, LogRecord::Checkpoint { .. }))
+            .map(|(l, _)| *l)
+            .last();
+        let start = ckpt.map(|l| l + 1).unwrap_or(0);
+        let committed: std::collections::HashSet<TxId> = seq
+            .iter()
+            .filter(|(l, _)| *l >= start)
+            .filter_map(|(_, r)| match r {
+                LogRecord::Commit { tx, .. } => Some(*tx),
+                _ => None,
+            })
+            .collect();
+        // Aborts can re-commit later in random streams; accept the replay's
+        // committed set being a subset of observed commits.
+        for tx in &plan.committed {
+            prop_assert!(committed.contains(tx));
+        }
+        // And every emitted op's record index count is bounded by the
+        // committed data records in the suffix.
+        let data_records = seq
+            .iter()
+            .filter(|(l, _)| *l >= start)
+            .filter(|(_, r)| {
+                r.tx().is_some_and(|tx| plan.committed.contains(&tx))
+                    && !matches!(
+                        r,
+                        LogRecord::Begin { .. } | LogRecord::Commit { .. } | LogRecord::Abort { .. }
+                    )
+            })
+            .count();
+        prop_assert_eq!(plan.ops.len(), data_records);
+    }
+}

@@ -1,0 +1,207 @@
+//! Query-mix generation over the standard experiment schema
+//! `(id, user, location, salary)`.
+//!
+//! Section III of the paper frames the indexing challenge in terms of two
+//! workload families whose character degradation changes:
+//!
+//! * **OLTP** — selective point/range lookups, here: by id, by exact
+//!   address, by salary band.
+//! * **OLAP/degraded** — broad selections at coarse accuracy, here: by
+//!   city/region/country label at the corresponding level.
+//!
+//! The generator emits plain SQL strings (exercising the full front end)
+//! bound to a chosen accuracy level per query.
+
+use crate::location::LocationDomain;
+use crate::rng::Rng;
+
+/// A generated query with the purpose declaration that precedes it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedQuery {
+    /// `DECLARE PURPOSE …` statement, if the query runs degraded.
+    pub purpose: Option<String>,
+    pub sql: String,
+    /// Human tag for reporting (e.g. "point-id", "loc-eq@d2").
+    pub tag: String,
+}
+
+/// Mix weights (need not sum to 1; normalized internally).
+#[derive(Debug, Clone, Copy)]
+pub struct QueryMix {
+    pub point_by_id: f64,
+    pub location_eq_accurate: f64,
+    pub location_eq_degraded: f64,
+    pub salary_band: f64,
+    pub like_country: f64,
+}
+
+impl Default for QueryMix {
+    fn default() -> Self {
+        QueryMix {
+            point_by_id: 0.4,
+            location_eq_accurate: 0.15,
+            location_eq_degraded: 0.25,
+            salary_band: 0.15,
+            like_country: 0.05,
+        }
+    }
+}
+
+/// Query generator.
+pub struct QueryGen<'d> {
+    domain: &'d LocationDomain,
+    mix: QueryMix,
+    rng: Rng,
+    max_id: i64,
+    /// Accuracy level used for "degraded" queries (1..=3).
+    pub degraded_level: u8,
+}
+
+impl<'d> QueryGen<'d> {
+    pub fn new(domain: &'d LocationDomain, mix: QueryMix, max_id: i64, seed: u64) -> Self {
+        QueryGen {
+            domain,
+            mix,
+            rng: Rng::new(seed),
+            max_id: max_id.max(1),
+            degraded_level: 2,
+        }
+    }
+
+    fn purpose_at(&self, level: u8) -> String {
+        format!(
+            "DECLARE PURPOSE Q SET ACCURACY LEVEL d{level} FOR LOCATION, d3 FOR SALARY"
+        )
+    }
+
+    /// Generate one query according to the mix.
+    pub fn next_query(&mut self) -> GeneratedQuery {
+        let m = self.mix;
+        let total =
+            m.point_by_id + m.location_eq_accurate + m.location_eq_degraded + m.salary_band
+                + m.like_country;
+        let mut x = self.rng.unit() * total;
+        x -= m.point_by_id;
+        if x < 0.0 {
+            let id = self.rng.range(0, self.max_id);
+            return GeneratedQuery {
+                purpose: None,
+                sql: format!("SELECT * FROM events WHERE id = {id}"),
+                tag: "point-id".into(),
+            };
+        }
+        x -= m.location_eq_accurate;
+        if x < 0.0 {
+            let addr = {
+                let mut rng = self.rng.clone();
+                let a = self.domain.sample_address(&mut rng).to_string();
+                self.rng = rng;
+                a
+            };
+            return GeneratedQuery {
+                purpose: None,
+                sql: format!("SELECT * FROM events WHERE location = '{addr}'"),
+                tag: "loc-eq@d0".into(),
+            };
+        }
+        x -= m.location_eq_degraded;
+        if x < 0.0 {
+            let level = self.degraded_level;
+            let leaf = {
+                let mut rng = self.rng.clone();
+                let a = self.domain.sample_address(&mut rng).to_string();
+                self.rng = rng;
+                a
+            };
+            let label = self.domain.label_at(&leaf, level);
+            return GeneratedQuery {
+                purpose: Some(self.purpose_at(level)),
+                sql: format!("SELECT * FROM events WHERE location = '{label}'"),
+                tag: format!("loc-eq@d{level}"),
+            };
+        }
+        x -= m.salary_band;
+        if x < 0.0 {
+            let lo = self.rng.range(1, 9) * 1000;
+            return GeneratedQuery {
+                purpose: None,
+                sql: format!(
+                    "SELECT id, salary FROM events WHERE salary BETWEEN {lo} AND {}",
+                    lo + 999
+                ),
+                tag: "salary-band".into(),
+            };
+        }
+        let country = format!("Country{:02}", self.rng.below(2));
+        GeneratedQuery {
+            purpose: Some(self.purpose_at(3)),
+            sql: format!("SELECT id FROM events WHERE location LIKE '%{country}%'"),
+            tag: "like-country@d3".into(),
+        }
+    }
+
+    /// Generate `n` queries.
+    pub fn take(&mut self, n: usize) -> Vec<GeneratedQuery> {
+        (0..n).map(|_| self.next_query()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::location::LocationShape;
+
+    fn domain() -> LocationDomain {
+        LocationDomain::generate(LocationShape::default(), 0.8)
+    }
+
+    #[test]
+    fn mix_produces_all_families() {
+        let d = domain();
+        let mut g = QueryGen::new(&d, QueryMix::default(), 1000, 42);
+        let queries = g.take(500);
+        let tags: std::collections::HashSet<String> =
+            queries.iter().map(|q| q.tag.clone()).collect();
+        assert!(tags.contains("point-id"));
+        assert!(tags.contains("loc-eq@d0"));
+        assert!(tags.contains("loc-eq@d2"));
+        assert!(tags.contains("salary-band"));
+        assert!(tags.contains("like-country@d3"));
+    }
+
+    #[test]
+    fn degraded_queries_carry_purpose() {
+        let d = domain();
+        let mut g = QueryGen::new(&d, QueryMix::default(), 1000, 7);
+        for q in g.take(200) {
+            if q.tag.contains("@d0") || q.tag == "point-id" || q.tag == "salary-band" {
+                assert!(q.purpose.is_none(), "{q:?}");
+            } else {
+                let p = q.purpose.as_ref().expect("degraded query needs purpose");
+                assert!(p.starts_with("DECLARE PURPOSE"));
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_labels_exist_in_domain() {
+        let d = domain();
+        let mut g = QueryGen::new(&d, QueryMix::default(), 10, 9);
+        g.degraded_level = 1;
+        for q in g.take(100) {
+            if q.tag == "loc-eq@d1" {
+                // Extract the label between quotes and check shape.
+                let label = q.sql.split('\'').nth(1).unwrap();
+                assert!(label.contains("/City"), "level-1 label: {label}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = domain();
+        let a: Vec<_> = QueryGen::new(&d, QueryMix::default(), 100, 5).take(50);
+        let b: Vec<_> = QueryGen::new(&d, QueryMix::default(), 100, 5).take(50);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,142 @@
+//! Deterministic PRNG (xorshift64*) for reproducible experiments.
+//!
+//! Every experiment binary takes a seed; two runs with the same seed
+//! produce identical workloads, which is what lets EXPERIMENTS.md quote
+//! stable numbers.
+
+/// A small, fast, seedable PRNG. Not cryptographic.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    pub fn new(seed: u64) -> Rng {
+        Rng {
+            state: seed.wrapping_mul(0x9E3779B97F4A7C15) | 1,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(hi > lo);
+        lo + (self.below((hi - lo) as u64) as i64)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Exponential with rate `lambda` (inter-arrival times of a Poisson
+    /// process).
+    pub fn exponential(&mut self, lambda: f64) -> f64 {
+        assert!(lambda > 0.0);
+        let u = loop {
+            let u = self.unit();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -u.ln() / lambda
+    }
+
+    /// Bernoulli.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Pick an element.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = Rng::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+            let x = r.range(-5, 5);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn unit_is_unit() {
+        let mut r = Rng::new(9);
+        let mut acc = 0.0;
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+            acc += u;
+        }
+        let mean = acc / 1000.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn exponential_mean_close_to_inverse_rate() {
+        let mut r = Rng::new(11);
+        let lambda = 2.0;
+        let n = 5000;
+        let mean: f64 = (0..n).map(|_| r.exponential(lambda)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from 1/λ = 0.5");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng::new(13);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(v, (0..50).collect::<Vec<u32>>(), "astronomically unlikely");
+    }
+}

@@ -1,0 +1,110 @@
+//! Zipf-distributed sampling.
+//!
+//! Real location and user popularity is heavily skewed (a few cities host
+//! most events); the Zipf sampler drives that skew in the generators.
+//! Implemented by inverse-CDF over precomputed cumulative weights — exact,
+//! O(log n) per sample.
+
+use crate::rng::Rng;
+
+/// A Zipf(θ) sampler over ranks `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// `theta = 0` is uniform; `theta ≈ 1` is classic Zipf; larger = more
+    /// skew.
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs a non-empty domain");
+        assert!(theta >= 0.0);
+        let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(theta)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        // Guard against FP drift on the last bucket.
+        if let Some(last) = weights.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf: weights }
+    }
+
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Sample a rank in `0..n` (rank 0 most popular).
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.unit();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = Rng::new(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "count {c} far from uniform 1000");
+        }
+    }
+
+    #[test]
+    fn skewed_when_theta_one() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = Rng::new(5);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(
+            counts[0] > counts[50] * 10,
+            "rank 0 ({}) must dwarf rank 50 ({})",
+            counts[0],
+            counts[50]
+        );
+        // Monotone (roughly): head larger than tail.
+        let head: usize = counts[..10].iter().sum();
+        let tail: usize = counts[90..].iter().sum();
+        assert!(head > tail * 5);
+    }
+
+    #[test]
+    fn all_ranks_reachable() {
+        let z = Zipf::new(5, 1.5);
+        let mut rng = Rng::new(8);
+        let mut seen = [false; 5];
+        for _ in 0..10_000 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_domain_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Forensic audit — Section III's unrecoverability challenge, live.
+//!
+//! "Traditional DBMSs cannot even guarantee the non-recoverability of
+//! deleted data due to different forms of unintended retention in the data
+//! space, the indexes and the logs." This example plays the offline
+//! attacker against two engine configurations:
+//!
+//! * **classical**: naive deletes, plaintext WAL — the attacker recovers
+//!   degraded addresses from heap residue and from the log;
+//! * **InstantDB**: secure overwrite + sealed WAL + checkpoint key
+//!   shredding — the attacker recovers nothing at any point.
+//!
+//! The attacker hunts *fragments* (street names), the realistic forensic
+//! move: an in-place rewrite overwrites the record prefix, but a classical
+//! engine leaves the tail bytes in the page.
+//!
+//! Run with: `cargo run --example forensic_audit`
+
+use std::sync::Arc;
+
+use instantdb::prelude::*;
+use instantdb::workload::attacker::{forensic_needles, forensic_scan};
+
+const ADDRESSES: [&str; 4] = [
+    "4 rue Jussieu",
+    "Domaine de Voluceau",
+    "Drienerlolaan 5",
+    "Science Park 123",
+];
+
+/// Distinctive fragments a forensic analyst would grep for.
+const FRAGMENTS: [&str; 4] = ["Jussieu", "Voluceau", "Drienerlolaan", "Science Park"];
+
+fn run(config_name: &str, secure: SecurePolicy, wal_mode: WalMode) -> Result<()> {
+    let clock = MockClock::new();
+    let db = Arc::new(Db::open(
+        DbConfig {
+            secure,
+            wal_mode,
+            ..DbConfig::default()
+        },
+        clock.shared(),
+    )?);
+    let mut session = Session::new(db.clone());
+    session.register_hierarchy("geo", Arc::new(location_tree_fig1()));
+    session.execute(
+        "CREATE TABLE person (id INT, location TEXT DEGRADE USING geo \
+         LCP 'address:1h -> city:1d -> region:1mo -> country:1mo')",
+    )?;
+    for (i, a) in ADDRESSES.iter().enumerate() {
+        session.execute(&format!("INSERT INTO person VALUES ({i}, '{a}')"))?;
+    }
+
+    // Age everything past the accurate stage.
+    clock.advance(Duration::hours(3));
+    db.pump_degradation()?;
+
+    let scanner = forensic_needles(FRAGMENTS.iter().copied());
+
+    // Attack 1: disk + log stolen after degradation, before any checkpoint.
+    let r1 = forensic_scan(&db, &scanner)?;
+    // Attack 2: after a checkpoint (log truncated, keys shredded).
+    db.checkpoint()?;
+    let r2 = forensic_scan(&db, &scanner)?;
+
+    println!(
+        "{config_name:<12} post-degradation: {}/{} fragments recoverable; \
+         post-checkpoint: {}/{}",
+        r1.recovered.len(),
+        FRAGMENTS.len(),
+        r2.recovered.len(),
+        FRAGMENTS.len(),
+    );
+    for r in &r2.recovered {
+        println!("             still leaking after checkpoint: {}", String::from_utf8_lossy(r));
+    }
+    Ok(())
+}
+
+fn main() -> Result<()> {
+    println!("offline forensic attack (fragment grep over raw heap + WAL images):\n");
+    run("classical", SecurePolicy::Naive, WalMode::Plain)?;
+    run("instantdb", SecurePolicy::Overwrite, WalMode::Sealed)?;
+    println!(
+        "\nThe classical engine leaks degraded addresses from page residue and \
+         the plaintext\nlog until (at least) the next checkpoint truncation; \
+         the degradation-aware engine\nnever exposes them: pages are \
+         overwritten at the degradation step itself and log\nimages are \
+         sealed under keys the checkpoint shreds."
+    );
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! Degradation vs the paper's baselines — claim 1 made visible.
+//!
+//! Four stores ingest the same event stream under different protection
+//! schemes (none / 1-year retention / static anonymization / Fig. 2-style
+//! degradation). A snapshot attacker strikes at a fixed time; the example
+//! prints how much accurate information each scheme handed over.
+//!
+//! Run with: `cargo run --release --example retention_vs_degradation`
+
+use std::sync::Arc;
+
+use instantdb::prelude::*;
+use instantdb::workload::events::{EventStream, EventStreamConfig};
+use instantdb::workload::location::{LocationDomain, LocationShape};
+
+fn main() -> Result<()> {
+    let domain = LocationDomain::generate(LocationShape::default(), 0.9);
+
+    let schemes: Vec<Protection> = vec![
+        Protection::None,
+        Protection::Retention(Duration::days(365)),
+        Protection::StaticAnon(LevelId(2), FOREVER),
+        Protection::Degradation(AttributeLcp::from_pairs(&[
+            (0, Duration::hours(1)),
+            (1, Duration::days(1)),
+            (2, Duration::days(7)),
+            (3, Duration::days(30)),
+        ])?),
+    ];
+
+    println!(
+        "{:<22} {:>8} {:>12} {:>14} {:>16}",
+        "scheme", "tuples", "exposure", "mean/value", "accurate values"
+    );
+    for scheme in &schemes {
+        let clock = MockClock::new();
+        let db = Arc::new(Db::open(DbConfig::default(), clock.shared())?);
+        db.create_table(protected_location_schema(
+            "events",
+            domain.hierarchy(),
+            scheme,
+        )?)?;
+
+        // Identical stream for every scheme (same seed).
+        let mut stream = EventStream::new(
+            EventStreamConfig {
+                events_per_hour: 30.0,
+                ..Default::default()
+            },
+            &domain,
+            7,
+            clock.now(),
+        );
+        let horizon = clock.now() + Duration::days(14);
+        let mut events = stream.until(horizon);
+        events.reverse();
+        while let Some(e) = events.pop() {
+            if e.at > clock.now() {
+                clock.set(e.at);
+                db.pump_degradation()?;
+            }
+            // The baseline schema is (id, user, location).
+            db.insert("events", &[e.row[0].clone(), e.row[1].clone(), e.row[2].clone()])?;
+        }
+        clock.set(horizon);
+        db.pump_degradation()?;
+
+        // The attacker snapshots the live store two weeks in.
+        let mut attacker = SnapshotAttacker::new();
+        let obs = attacker.snapshot(&db)?;
+        let report = &obs.reports[0];
+        println!(
+            "{:<22} {:>8} {:>12.2} {:>14.4} {:>16}",
+            scheme.label(),
+            report.tuples,
+            report.total_exposure,
+            report.mean_exposure(),
+            obs.accurate_values.len(),
+        );
+    }
+
+    println!(
+        "\nReading: 'exposure' is residual information (1.0 = one fully \
+         accurate value).\nDegradation keeps weeks of history usable at \
+         coarse accuracy while handing the\nattacker orders of magnitude \
+         fewer accurate values than retention."
+    );
+    Ok(())
+}

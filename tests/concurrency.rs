@@ -1,0 +1,224 @@
+//! Concurrency integration: readers, writers and the degrader running
+//! together — the paper's "potential conflicts between degradation steps
+//! and reader transactions".
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use instantdb::prelude::*;
+
+fn setup() -> (MockClock, Arc<Db>) {
+    let clock = MockClock::new();
+    let db = Arc::new(Db::open(DbConfig::default(), clock.shared()).unwrap());
+    let gt: Arc<dyn Hierarchy> = Arc::new(location_tree_fig1());
+    db.create_table(
+        TableSchema::new(
+            "person",
+            vec![
+                Column::stable("id", DataType::Int).with_index(),
+                Column::degradable(
+                    "location",
+                    DataType::Str,
+                    gt,
+                    AttributeLcp::fig2_location(),
+                )
+                .unwrap()
+                .with_index(),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    (clock, db)
+}
+
+#[test]
+fn concurrent_inserts_from_many_threads() {
+    let (_clock, db) = setup();
+    let threads = 8;
+    let per_thread = 50;
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let db = db.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..per_thread {
+                let id = (t * per_thread + i) as i64;
+                db.insert(
+                    "person",
+                    &[Value::Int(id), Value::Str("4 rue Jussieu".into())],
+                )
+                .unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let table = db.catalog().get("person").unwrap();
+    assert_eq!(table.live_count().unwrap(), threads * per_thread);
+    // Every id indexed exactly once.
+    for id in 0..(threads * per_thread) as i64 {
+        assert_eq!(
+            table
+                .index_probe_stable(instantdb::common::ColumnId(0), &Value::Int(id))
+                .unwrap()
+                .len(),
+            1,
+            "id {id}"
+        );
+    }
+}
+
+#[test]
+fn degrader_races_readers_without_corruption() {
+    let (clock, db) = setup();
+    for i in 0..200 {
+        db.insert(
+            "person",
+            &[Value::Int(i), Value::Str("Drienerlolaan 5".into())],
+        )
+        .unwrap();
+    }
+    clock.advance(Duration::hours(2));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut readers = Vec::new();
+    for _ in 0..4 {
+        let db = db.clone();
+        let stop = stop.clone();
+        readers.push(std::thread::spawn(move || {
+            let table = db.catalog().get("person").unwrap();
+            let mut reads = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                for (tid, _) in table.scan().unwrap() {
+                    // Tuple reads go through the lock manager; a read must
+                    // always observe a *coherent* value: either the address
+                    // or the city, never torn bytes.
+                    if let Ok(t) = db.read_tuple(&table, tid) {
+                        match &t.row[1] {
+                            Value::Str(s) => assert!(
+                                s == "Drienerlolaan 5" || s == "Enschede",
+                                "torn value: {s}"
+                            ),
+                            other => panic!("unexpected {other:?}"),
+                        }
+                        reads += 1;
+                    }
+                }
+            }
+            reads
+        }));
+    }
+
+    // Degrade everything while the readers hammer the table.
+    let mut total = PumpReport::default();
+    for _ in 0..200 {
+        let r = db.pump_one_batch().unwrap();
+        total.fired += r.fired;
+        total.deferred += r.deferred;
+        if db.scheduler().due_batch(db.now(), 1).is_empty() && r.fired == 0 && r.deferred == 0 {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    // Drain anything still deferred after the readers stop.
+    stop.store(true, Ordering::Relaxed);
+    let read_counts: Vec<usize> = readers.into_iter().map(|h| h.join().unwrap()).collect();
+    let tail = db.pump_degradation().unwrap();
+    total.fired += tail.fired;
+
+    assert_eq!(total.fired, 200, "every transition eventually fires");
+    assert!(read_counts.iter().sum::<usize>() > 0, "readers made progress");
+    let table = db.catalog().get("person").unwrap();
+    for (_, t) in table.scan().unwrap() {
+        assert_eq!(t.row[1], Value::Str("Enschede".into()));
+    }
+}
+
+#[test]
+fn wait_die_aborts_are_retryable_under_load() {
+    let (_clock, db) = setup();
+    let tid = db
+        .insert("person", &[Value::Int(1), Value::Str("4 rue Jussieu".into())])
+        .unwrap();
+    let table = db.catalog().get("person").unwrap();
+    let threads = 6;
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let db = db.clone();
+        let table = table.clone();
+        handles.push(std::thread::spawn(move || {
+            // Everyone updates the same stable column; retries must make
+            // global progress despite wait-die casualties.
+            for i in 0..20 {
+                loop {
+                    match db.update_stable(
+                        &table,
+                        tid,
+                        instantdb::common::ColumnId(0),
+                        Value::Int((t * 100 + i) as i64),
+                    ) {
+                        Ok(()) => break,
+                        Err(e) if e.is_retryable() => std::thread::yield_now(),
+                        Err(e) => panic!("unexpected error {e}"),
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // The tuple holds one of the written values, intact.
+    let t = table.get(tid).unwrap();
+    assert!(matches!(t.row[0], Value::Int(_)));
+}
+
+#[test]
+fn inserts_and_queries_interleave_with_degradation() {
+    let (clock, db) = setup();
+    let db2 = db.clone();
+    let writer = std::thread::spawn(move || {
+        for i in 0..100 {
+            db2.insert(
+                "person",
+                &[Value::Int(1000 + i), Value::Str("Rue de la Paix".into())],
+            )
+            .unwrap();
+        }
+    });
+    for i in 0..100 {
+        db.insert(
+            "person",
+            &[Value::Int(i), Value::Str("4 rue Jussieu".into())],
+        )
+        .unwrap();
+    }
+    writer.join().unwrap();
+    clock.advance(Duration::hours(2));
+    db.pump_degradation().unwrap();
+    let table = db.catalog().get("person").unwrap();
+    // Everything degraded exactly one step.
+    let occupancy = table
+        .index_occupancy(instantdb::common::ColumnId(1))
+        .unwrap();
+    assert_eq!(occupancy, vec![0, 200, 0, 0]);
+    assert_eq!(db.stats().degrade_steps.load(Ordering::Relaxed), 200);
+}
+
+#[test]
+fn system_and_user_transaction_counters() {
+    let (clock, db) = setup();
+    for i in 0..10 {
+        db.insert(
+            "person",
+            &[Value::Int(i), Value::Str("4 rue Jussieu".into())],
+        )
+        .unwrap();
+    }
+    clock.advance(Duration::hours(2));
+    db.pump_degradation().unwrap();
+    let (user, system) = db.tx_manager().counters();
+    assert!(user >= 10);
+    assert!(system >= 1, "degradation batches run as system txs");
+}

@@ -1,0 +1,194 @@
+//! Property-based integration tests: the engine agrees with the abstract
+//! LCP model under randomized policies, workloads and clock schedules.
+//!
+//! The key invariant (the paper's central promise): at any observation
+//! instant, every stored degradable value equals exactly what the abstract
+//! model (`Degrader::value_at`) predicts for the tuple's age — provided the
+//! pump has run — and accuracy is monotone: replaying the same history
+//! never yields a *finer* state than an earlier observation.
+
+use std::sync::Arc;
+
+use instantdb::prelude::*;
+use proptest::prelude::*;
+
+fn arb_lcp() -> impl Strategy<Value = AttributeLcp> {
+    // Levels ⊆ {0,1,2,3} strictly increasing starting at 0, minutes-scale
+    // retentions.
+    (
+        proptest::collection::vec(1u64..240, 1..4),
+        proptest::sample::subsequence(vec![1u8, 2, 3], 0..3),
+    )
+        .prop_map(|(retentions, extra_levels)| {
+            let mut levels = vec![0u8];
+            levels.extend(extra_levels);
+            let pairs: Vec<(u8, Duration)> = levels
+                .iter()
+                .zip(retentions.iter().cycle())
+                .map(|(l, m)| (*l, Duration::minutes(*m)))
+                .collect();
+            AttributeLcp::from_pairs(&pairs).expect("valid policy")
+        })
+}
+
+fn schema_with(lcp: AttributeLcp) -> TableSchema {
+    let gt: Arc<dyn Hierarchy> = Arc::new(location_tree_fig1());
+    TableSchema::new(
+        "person",
+        vec![
+            Column::stable("id", DataType::Int),
+            Column::degradable("location", DataType::Str, gt, lcp)
+                .unwrap()
+                .with_index(),
+        ],
+    )
+    .unwrap()
+}
+
+const LEAVES: [&str; 4] = [
+    "4 rue Jussieu",
+    "Domaine de Voluceau",
+    "Drienerlolaan 5",
+    "Science Park 123",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Engine state == model prediction at random observation points.
+    #[test]
+    fn engine_matches_abstract_model(
+        lcp in arb_lcp(),
+        inserts in proptest::collection::vec((0usize..4, 0u64..120), 1..12),
+        advances in proptest::collection::vec(1u64..200, 1..8),
+    ) {
+        let clock = MockClock::new();
+        let db = Db::open(DbConfig::default(), clock.shared()).unwrap();
+        db.create_table(schema_with(lcp.clone())).unwrap();
+        let gt: Arc<dyn Hierarchy> = Arc::new(location_tree_fig1());
+        let degrader = Degrader::new(gt, lcp).unwrap();
+
+        // Insert at staggered times.
+        let mut expected: Vec<(Timestamp, Value)> = Vec::new();
+        for (leaf_idx, delay_min) in &inserts {
+            clock.advance(Duration::minutes(*delay_min));
+            let leaf = Value::Str(LEAVES[*leaf_idx].into());
+            db.insert("person", &[Value::Int(expected.len() as i64), leaf.clone()]).unwrap();
+            expected.push((clock.now(), leaf));
+        }
+
+        // Random observation schedule.
+        for adv in &advances {
+            clock.advance(Duration::minutes(*adv));
+            db.pump_degradation().unwrap();
+            let table = db.catalog().get("person").unwrap();
+            let now = clock.now();
+            let live: std::collections::HashMap<i64, Value> = table
+                .scan()
+                .unwrap()
+                .into_iter()
+                .map(|(_, t)| (t.row[0].as_int().unwrap(), t.row[1].clone()))
+                .collect();
+            for (id, (birth, v0)) in expected.iter().enumerate() {
+                let age = now.since(*birth);
+                let predicted = degrader.value_at(v0, age).unwrap();
+                match live.get(&(id as i64)) {
+                    Some(stored) => prop_assert_eq!(
+                        stored, &predicted,
+                        "tuple {} at age {}", id, age
+                    ),
+                    None => prop_assert_eq!(
+                        &predicted, &Value::Removed,
+                        "tuple {} missing but model predicts {:?}", id, predicted
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Exposure is monotonically non-increasing along any schedule with no
+    /// new inserts.
+    #[test]
+    fn exposure_monotone_without_inserts(
+        lcp in arb_lcp(),
+        advances in proptest::collection::vec(1u64..300, 1..10),
+    ) {
+        let clock = MockClock::new();
+        let db = Db::open(DbConfig::default(), clock.shared()).unwrap();
+        db.create_table(schema_with(lcp)).unwrap();
+        for (i, leaf) in LEAVES.iter().enumerate() {
+            db.insert("person", &[Value::Int(i as i64), Value::Str((*leaf).into())]).unwrap();
+        }
+        let mut prev = total_exposure(&db).unwrap();
+        for adv in &advances {
+            clock.advance(Duration::minutes(*adv));
+            db.pump_degradation().unwrap();
+            let e = total_exposure(&db).unwrap();
+            prop_assert!(e <= prev + 1e-9, "exposure rose {prev} -> {e}");
+            prev = e;
+        }
+    }
+
+    /// Index occupancy always sums to the number of live degradable values,
+    /// regardless of schedule.
+    #[test]
+    fn index_occupancy_consistent(
+        lcp in arb_lcp(),
+        advances in proptest::collection::vec(1u64..200, 1..8),
+    ) {
+        let clock = MockClock::new();
+        let db = Db::open(DbConfig::default(), clock.shared()).unwrap();
+        db.create_table(schema_with(lcp)).unwrap();
+        for (i, leaf) in LEAVES.iter().enumerate() {
+            db.insert("person", &[Value::Int(i as i64), Value::Str((*leaf).into())]).unwrap();
+        }
+        let table = db.catalog().get("person").unwrap();
+        for adv in &advances {
+            clock.advance(Duration::minutes(*adv));
+            db.pump_degradation().unwrap();
+            let occupancy = table.index_occupancy(instantdb::common::ColumnId(1)).unwrap();
+            let indexed: usize = occupancy.iter().sum();
+            let live_values = table
+                .scan()
+                .unwrap()
+                .iter()
+                .filter(|(_, t)| t.stages[0].is_some())
+                .count();
+            prop_assert_eq!(indexed, live_values);
+        }
+    }
+
+    /// Strict-σ result rows always show values at exactly the requested
+    /// level, for random purposes over random data ages.
+    #[test]
+    fn sigma_returns_uniform_accuracy(
+        level in 0u8..4,
+        age_minutes in 0u64..4000,
+    ) {
+        let clock = MockClock::new();
+        let db = Arc::new(Db::open(DbConfig::default(), clock.shared()).unwrap());
+        let mut session = Session::new(db.clone());
+        session.register_hierarchy("geo", Arc::new(location_tree_fig1()));
+        session.execute(
+            "CREATE TABLE person (id INT, location TEXT DEGRADE USING geo \
+             LCP 'd0:30min -> d1:2h -> d2:8h -> d3:24h' INDEXED)",
+        ).unwrap();
+        for (i, leaf) in LEAVES.iter().enumerate() {
+            session.execute(&format!("INSERT INTO person VALUES ({i}, '{leaf}')")).unwrap();
+        }
+        clock.advance(Duration::minutes(age_minutes));
+        db.pump_degradation().unwrap();
+        session.execute(&format!(
+            "DECLARE PURPOSE P SET ACCURACY LEVEL d{level} FOR LOCATION"
+        )).unwrap();
+        let rows = session.execute("SELECT location FROM person").unwrap().rows();
+        let gt = location_tree_fig1();
+        for row in &rows.rows {
+            let lv = gt.level_of(&row[0]);
+            prop_assert_eq!(
+                lv, Some(LevelId(level)),
+                "returned {:?} is not at level d{}", row[0], level
+            );
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! SQL surface integration tests: the full front end (DDL, DML, purposes)
+//! behaves like a database, including its error paths.
+
+use std::sync::Arc;
+
+use instantdb::prelude::*;
+
+fn fresh() -> (MockClock, Session) {
+    let clock = MockClock::new();
+    let db = Arc::new(Db::open(DbConfig::default(), clock.shared()).unwrap());
+    let mut s = Session::new(db);
+    s.register_hierarchy("geo", Arc::new(location_tree_fig1()));
+    s.register_hierarchy("money", Arc::new(RangeHierarchy::salary()));
+    (clock, s)
+}
+
+#[test]
+fn create_table_via_sql_with_named_levels() {
+    let (_c, mut s) = fresh();
+    let out = s
+        .execute(
+            "CREATE TABLE t (id INT INDEXED, \
+             loc TEXT DEGRADE USING geo LCP 'address:30min -> city:1d' INDEXED, \
+             pay INT DEGRADE USING money LCP 'exact:10min -> range1000:30d')",
+        )
+        .unwrap();
+    assert!(matches!(out, QueryOutput::TableCreated(n) if n == "t"));
+    // Duplicate creation fails.
+    assert!(s
+        .execute("CREATE TABLE t (x INT)")
+        .is_err());
+    // Unknown hierarchy fails.
+    assert!(s
+        .execute("CREATE TABLE u (x TEXT DEGRADE USING nope LCP 'd0:1h')")
+        .is_err());
+    // Bad LCP spec fails.
+    assert!(s
+        .execute("CREATE TABLE v (x TEXT DEGRADE USING geo LCP 'gibberish')")
+        .is_err());
+}
+
+#[test]
+fn multi_row_insert_and_count() {
+    let (_c, mut s) = fresh();
+    s.execute("CREATE TABLE t (id INT INDEXED, name TEXT)").unwrap();
+    let out = s
+        .execute("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+        .unwrap();
+    assert_eq!(out, QueryOutput::Inserted(3));
+    let r = s.execute("SELECT * FROM t").unwrap().rows();
+    assert_eq!(r.rows.len(), 3);
+    assert_eq!(r.columns, vec!["id".to_string(), "name".to_string()]);
+}
+
+#[test]
+fn type_mismatch_on_insert() {
+    let (_c, mut s) = fresh();
+    s.execute("CREATE TABLE t (id INT, name TEXT)").unwrap();
+    assert!(matches!(
+        s.execute("INSERT INTO t VALUES ('one', 'a')"),
+        Err(Error::Schema(_))
+    ));
+    assert!(matches!(
+        s.execute("INSERT INTO t VALUES (1)"),
+        Err(Error::Schema(_))
+    ));
+}
+
+#[test]
+fn comparison_operator_matrix() {
+    let (_c, mut s) = fresh();
+    s.execute("CREATE TABLE t (id INT INDEXED, v INT)").unwrap();
+    for i in 0..10 {
+        s.execute(&format!("INSERT INTO t VALUES ({i}, {})", i * 10))
+            .unwrap();
+    }
+    let count = |s: &mut Session, q: &str| s.execute(q).unwrap().rows().rows.len();
+    assert_eq!(count(&mut s, "SELECT * FROM t WHERE v = 50"), 1);
+    assert_eq!(count(&mut s, "SELECT * FROM t WHERE v <> 50"), 9);
+    assert_eq!(count(&mut s, "SELECT * FROM t WHERE v < 50"), 5);
+    assert_eq!(count(&mut s, "SELECT * FROM t WHERE v <= 50"), 6);
+    assert_eq!(count(&mut s, "SELECT * FROM t WHERE v > 50"), 4);
+    assert_eq!(count(&mut s, "SELECT * FROM t WHERE v >= 50"), 5);
+    assert_eq!(count(&mut s, "SELECT * FROM t WHERE v BETWEEN 20 AND 40"), 3);
+    assert_eq!(
+        count(&mut s, "SELECT * FROM t WHERE v >= 20 AND v < 40 AND id > 1"),
+        2
+    );
+}
+
+#[test]
+fn index_plans_on_stable_ranges() {
+    let (_c, mut s) = fresh();
+    s.execute("CREATE TABLE t (id INT INDEXED, v INT)").unwrap();
+    for i in 0..100 {
+        s.execute(&format!("INSERT INTO t VALUES ({i}, {i})")).unwrap();
+    }
+    let r = s
+        .execute("SELECT id FROM t WHERE id BETWEEN 10 AND 19")
+        .unwrap()
+        .rows();
+    assert!(r.plan.starts_with("IndexRange"), "plan: {}", r.plan);
+    assert_eq!(r.rows.len(), 10);
+    let r2 = s.execute("SELECT id FROM t WHERE id >= 95").unwrap().rows();
+    assert!(r2.plan.starts_with("IndexRange"));
+    assert_eq!(r2.rows.len(), 5);
+    let r3 = s.execute("SELECT id FROM t WHERE id < 5").unwrap().rows();
+    assert_eq!(r3.rows.len(), 5);
+}
+
+#[test]
+fn delete_without_predicate_empties_table() {
+    let (_c, mut s) = fresh();
+    s.execute("CREATE TABLE t (id INT)").unwrap();
+    s.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+    let out = s.execute("DELETE FROM t").unwrap();
+    assert_eq!(out, QueryOutput::Deleted(3));
+    assert!(s.execute("SELECT * FROM t").unwrap().rows().rows.is_empty());
+}
+
+#[test]
+fn purposes_are_session_state() {
+    let (clock, mut s) = fresh();
+    s.execute(
+        "CREATE TABLE t (id INT, loc TEXT DEGRADE USING geo \
+         LCP 'address:1h -> city:1d -> region:1mo -> country:1mo' INDEXED)",
+    )
+    .unwrap();
+    s.execute("INSERT INTO t VALUES (1, '4 rue Jussieu')").unwrap();
+    clock.advance(Duration::hours(2));
+    s.db().pump_degradation().unwrap();
+
+    // Declare two purposes; the later one is active.
+    s.execute("DECLARE PURPOSE FINE SET ACCURACY LEVEL CITY FOR LOC").unwrap();
+    s.execute("DECLARE PURPOSE COARSE SET ACCURACY LEVEL COUNTRY FOR LOC").unwrap();
+    let r = s.execute("SELECT loc FROM t").unwrap().rows();
+    assert_eq!(r.rows[0][0], Value::Str("France".into()));
+    // Re-activate the finer one by name.
+    s.set_purpose("fine").unwrap();
+    let r2 = s.execute("SELECT loc FROM t").unwrap().rows();
+    assert_eq!(r2.rows[0][0], Value::Str("Paris".into()));
+    // Clearing returns to most-accurate semantics: nothing computable.
+    s.clear_purpose();
+    assert!(s.execute("SELECT loc FROM t").unwrap().rows().rows.is_empty());
+}
+
+#[test]
+fn range_literal_binding_on_int_columns() {
+    let (clock, mut s) = fresh();
+    s.execute(
+        "CREATE TABLE t (id INT, pay INT DEGRADE USING money \
+         LCP 'exact:1h -> range1000:30d')",
+    )
+    .unwrap();
+    for (i, p) in [(1, 1500), (2, 2500), (3, 3500)] {
+        s.execute(&format!("INSERT INTO t VALUES ({i}, {p})")).unwrap();
+    }
+    clock.advance(Duration::hours(2));
+    s.db().pump_degradation().unwrap();
+    s.execute("DECLARE PURPOSE P SET ACCURACY LEVEL RANGE1000 FOR PAY").unwrap();
+    // The paper's quoted interval literal.
+    let r = s
+        .execute("SELECT id FROM t WHERE pay = '2000-3000'")
+        .unwrap()
+        .rows();
+    assert_eq!(r.rows, vec![vec![Value::Int(2)]]);
+    // And an int literal matches by containment on the degraded range.
+    let r2 = s.execute("SELECT id FROM t WHERE pay = 3700").unwrap().rows();
+    assert_eq!(r2.rows, vec![vec![Value::Int(3)]]);
+}
+
+#[test]
+fn projection_of_unknown_column_fails_cleanly() {
+    let (_c, mut s) = fresh();
+    s.execute("CREATE TABLE t (id INT)").unwrap();
+    assert!(matches!(
+        s.execute("SELECT ghost FROM t"),
+        Err(Error::NotFound(_))
+    ));
+    assert!(matches!(
+        s.execute("SELECT id FROM t WHERE ghost = 1"),
+        Err(Error::NotFound(_))
+    ));
+}
+
+#[test]
+fn parser_rejects_garbage_without_side_effects() {
+    let (_c, mut s) = fresh();
+    s.execute("CREATE TABLE t (id INT)").unwrap();
+    for bad in [
+        "SELEKT * FROM t",
+        "SELECT * FROM",
+        "INSERT t VALUES (1)",
+        "DELETE t",
+        "DECLARE PURPOSE",
+        "",
+        ";;;",
+    ] {
+        assert!(s.execute(bad).is_err(), "{bad:?} should fail");
+    }
+    // The table is untouched.
+    s.execute("INSERT INTO t VALUES (1)").unwrap();
+    assert_eq!(s.execute("SELECT * FROM t").unwrap().rows().rows.len(), 1);
+}
+
+#[test]
+fn like_patterns_edgecases() {
+    let (_c, mut s) = fresh();
+    s.execute("CREATE TABLE t (id INT, name TEXT)").unwrap();
+    s.execute("INSERT INTO t VALUES (1, 'Alice Wonderland'), (2, 'Bob'), (3, '')")
+        .unwrap();
+    let count = |s: &mut Session, q: &str| s.execute(q).unwrap().rows().rows.len();
+    assert_eq!(count(&mut s, "SELECT * FROM t WHERE name LIKE '%'"), 3);
+    assert_eq!(count(&mut s, "SELECT * FROM t WHERE name LIKE 'alice%'"), 1);
+    assert_eq!(count(&mut s, "SELECT * FROM t WHERE name LIKE '%LAND'"), 1);
+    assert_eq!(count(&mut s, "SELECT * FROM t WHERE name LIKE 'BOB'"), 1);
+    assert_eq!(count(&mut s, "SELECT * FROM t WHERE name LIKE '%x%'"), 0);
+}
