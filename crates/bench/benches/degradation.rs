@@ -22,7 +22,14 @@ fn bench_pump(c: &mut Criterion) {
     group.sample_size(10);
     for batch in [16usize, 256, 0] {
         group.bench_with_input(
-            BenchmarkId::new("batch", if batch == 0 { "unbounded".into() } else { batch.to_string() }),
+            BenchmarkId::new(
+                "batch",
+                if batch == 0 {
+                    "unbounded".into()
+                } else {
+                    batch.to_string()
+                },
+            ),
             &batch,
             |b, &batch| {
                 b.iter_batched(

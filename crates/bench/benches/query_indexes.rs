@@ -104,8 +104,7 @@ fn raw_structures(c: &mut Criterion) {
     });
     group.bench_function("btree_postings_intersect", |b| {
         b.iter(|| {
-            let left: std::collections::HashSet<TupleId> =
-                btree3.get(&fr).into_iter().collect();
+            let left: std::collections::HashSet<TupleId> = btree3.get(&fr).into_iter().collect();
             band_btree
                 .get(&band_a)
                 .into_iter()

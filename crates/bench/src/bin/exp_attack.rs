@@ -38,7 +38,14 @@ fn main() {
     let mut r = Report::new(
         "E5 — snapshot-attack frequency vs captured accurate values \
          (shortest step = 6h)",
-        &["attack period", "snapshots", "accurate captured", "universe", "fraction", "step/period bound"],
+        &[
+            "attack period",
+            "snapshots",
+            "accurate captured",
+            "universe",
+            "fraction",
+            "step/period bound",
+        ],
     );
     for (label, period) in periods {
         let (captured, universe, snapshots) = run(&domain, period);
@@ -82,10 +89,8 @@ fn run(domain: &LocationDomain, period: Duration) -> (usize, usize, usize) {
         ])
         .unwrap(),
     );
-    db.create_table(
-        protected_location_schema("events", domain.hierarchy(), &scheme).unwrap(),
-    )
-    .unwrap();
+    db.create_table(protected_location_schema("events", domain.hierarchy(), &scheme).unwrap())
+        .unwrap();
     let mut stream = EventStream::new(
         EventStreamConfig {
             events_per_hour: 20.0,
@@ -134,7 +139,7 @@ fn run(domain: &LocationDomain, period: Duration) -> (usize, usize, usize) {
                     });
                 }
             }
-            next_attack = next_attack + period;
+            next_attack += period;
         } else {
             break;
         }

@@ -94,10 +94,8 @@ fn run_scheme(domain: &LocationDomain, scheme: &Protection) -> (Vec<f64>, Vec<us
         )
         .unwrap(),
     );
-    db.create_table(
-        protected_location_schema("events", domain.hierarchy(), scheme).unwrap(),
-    )
-    .unwrap();
+    db.create_table(protected_location_schema("events", domain.hierarchy(), scheme).unwrap())
+        .unwrap();
     let mut stream = EventStream::new(
         EventStreamConfig {
             events_per_hour: 30.0,

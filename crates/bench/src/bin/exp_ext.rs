@@ -53,13 +53,10 @@ fn event_triggered(domain: &LocationDomain) {
         let clock = MockClock::new();
         let db = mk_db(&clock);
         let scheme = Protection::Degradation(
-            AttributeLcp::from_pairs(&[(0, Duration::hours(6)), (3, Duration::days(30))])
-                .unwrap(),
+            AttributeLcp::from_pairs(&[(0, Duration::hours(6)), (3, Duration::days(30))]).unwrap(),
         );
-        db.create_table(
-            protected_location_schema("events", domain.hierarchy(), &scheme).unwrap(),
-        )
-        .unwrap();
+        db.create_table(protected_location_schema("events", domain.hierarchy(), &scheme).unwrap())
+            .unwrap();
         let mut rng = Rng::new(5);
         for i in 0..500 {
             let addr = domain.sample_address(&mut rng).to_string();
@@ -89,7 +86,12 @@ fn event_triggered(domain: &LocationDomain) {
             .filter(|(_, t)| t.stages[0] == Some(0))
             .count();
         r.row_strings(vec![
-            if triggered { "on-logout trigger" } else { "timer only" }.to_string(),
+            if triggered {
+                "on-logout trigger"
+            } else {
+                "timer only"
+            }
+            .to_string(),
             f(exposure, 1),
             accurate.to_string(),
         ]);
@@ -112,9 +114,6 @@ fn strict_vs_relaxed(domain: &LocationDomain) {
     // Three cohorts: fresh (d0), day-old (d1), week-old (d2).
     let mut rng = Rng::new(8);
     let mut id = 0i64;
-    for age in [Duration::days(8), Duration::days(1) + Duration::hours(2), Duration::ZERO] {
-        let _ = age;
-    }
     for (cohort, advance) in [
         (200, Duration::ZERO),
         (200, Duration::days(7)),
@@ -145,10 +144,24 @@ fn strict_vs_relaxed(domain: &LocationDomain) {
             ))
             .unwrap();
         session.set_semantics(QuerySemantics::Strict);
-        let strict = session.execute("SELECT id FROM events").unwrap().rows().rows.len();
+        let strict = session
+            .execute("SELECT id FROM events")
+            .unwrap()
+            .rows()
+            .rows
+            .len();
         session.set_semantics(QuerySemantics::Relaxed);
-        let relaxed = session.execute("SELECT id FROM events").unwrap().rows().rows.len();
-        r.row_strings(vec![format!("d{level}"), strict.to_string(), relaxed.to_string()]);
+        let relaxed = session
+            .execute("SELECT id FROM events")
+            .unwrap()
+            .rows()
+            .rows
+            .len();
+        r.row_strings(vec![
+            format!("d{level}"),
+            strict.to_string(),
+            relaxed.to_string(),
+        ]);
     }
     r.emit("e13b_strict_vs_relaxed");
 }

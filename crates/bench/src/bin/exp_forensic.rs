@@ -36,10 +36,18 @@ fn main() {
         ],
     );
     for (name, secure, wal) in [
-        ("naive+plain (classical)", SecurePolicy::Naive, WalMode::Plain),
+        (
+            "naive+plain (classical)",
+            SecurePolicy::Naive,
+            WalMode::Plain,
+        ),
         ("naive+sealed", SecurePolicy::Naive, WalMode::Sealed),
         ("overwrite+plain", SecurePolicy::Overwrite, WalMode::Plain),
-        ("overwrite+sealed (ours)", SecurePolicy::Overwrite, WalMode::Sealed),
+        (
+            "overwrite+sealed (ours)",
+            SecurePolicy::Overwrite,
+            WalMode::Sealed,
+        ),
     ] {
         let (heap_hits, wal_hits, pre, post, total) = run(&domain, secure, wal);
         r.row_strings(vec![
@@ -74,10 +82,8 @@ fn run(
     let scheme = Protection::Degradation(
         AttributeLcp::from_pairs(&[(0, Duration::hours(1)), (2, Duration::days(30))]).unwrap(),
     );
-    db.create_table(
-        protected_location_schema("events", domain.hierarchy(), &scheme).unwrap(),
-    )
-    .unwrap();
+    db.create_table(protected_location_schema("events", domain.hierarchy(), &scheme).unwrap())
+        .unwrap();
     let mut rng = Rng::new(99);
     let mut fragments: std::collections::HashSet<String> = Default::default();
     for i in 0..TUPLES {

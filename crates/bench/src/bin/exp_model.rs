@@ -44,7 +44,12 @@ fn fig1() {
         "E1 — full degradation path (\"all degraded forms the value can take\")",
         &["step", "value"],
     );
-    for (i, (level, label)) in gt.degradation_path(example_leaf).unwrap().iter().enumerate() {
+    for (i, (level, label)) in gt
+        .degradation_path(example_leaf)
+        .unwrap()
+        .iter()
+        .enumerate()
+    {
         p.row_strings(vec![format!("{i} ({level})"), label.clone()]);
     }
     p.emit("e1_fig1_path");
@@ -76,11 +81,7 @@ fn fig2() {
                 let v = gt
                     .generalize(&Value::Str("4 rue Jussieu".into()), level)
                     .unwrap();
-                (
-                    format!("d{}", level.0),
-                    gt.level_name(level),
-                    v.to_string(),
-                )
+                (format!("d{}", level.0), gt.level_name(level), v.to_string())
             }
             None => ("⊥".to_string(), "removed".to_string(), "<removed>".into()),
         };
@@ -102,11 +103,8 @@ fn fig3() {
         (2, Duration::months(1)),
     ])
     .unwrap();
-    let salary = AttributeLcp::from_pairs(&[
-        (0, Duration::hours(12)),
-        (2, Duration::days(7)),
-    ])
-    .unwrap();
+    let salary =
+        AttributeLcp::from_pairs(&[(0, Duration::hours(12)), (2, Duration::days(7))]).unwrap();
     let tuple = TupleLcp::combine(vec![location, salary]);
     let mut r = Report::new(
         "E3 / Fig.3 — tuple LCP (product automaton: location × salary)",

@@ -47,10 +47,7 @@ fn main() {
 }
 
 fn run(domain: &LocationDomain, n: usize) -> (u64, usize, usize, usize, u128) {
-    let path = PathBuf::from(std::env::temp_dir()).join(format!(
-        "instantdb-e11-{}-{n}",
-        std::process::id()
-    ));
+    let path = std::env::temp_dir().join(format!("instantdb-e11-{}-{n}", std::process::id()));
     for ext in ["idb", "wal", "meta"] {
         let mut s = path.as_os_str().to_os_string();
         s.push(".");

@@ -43,10 +43,8 @@ fn main() {
         ])
         .unwrap(),
     );
-    db.create_table(
-        protected_location_schema("events", domain.hierarchy(), &scheme).unwrap(),
-    )
-    .unwrap();
+    db.create_table(protected_location_schema("events", domain.hierarchy(), &scheme).unwrap())
+        .unwrap();
     let table = db.catalog().get("events").unwrap();
 
     let mut stream = EventStream::new(
@@ -60,7 +58,14 @@ fn main() {
     );
     let mut r = Report::new(
         "E12 — storage under steady insert + expunge (50 ev/h, 3-day lifetime)",
-        &["day", "inserted", "live", "expunged", "heap pages", "vacuum reclaimed B"],
+        &[
+            "day",
+            "inserted",
+            "live",
+            "expunged",
+            "heap pages",
+            "vacuum reclaimed B",
+        ],
     );
     let mut next = stream.next_event();
     let mut inserted = 0usize;
@@ -71,7 +76,11 @@ fn main() {
             db.pump_degradation().unwrap();
             db.insert(
                 "events",
-                &[next.row[0].clone(), next.row[1].clone(), next.row[2].clone()],
+                &[
+                    next.row[0].clone(),
+                    next.row[1].clone(),
+                    next.row[2].clone(),
+                ],
             )
             .unwrap();
             inserted += 1;

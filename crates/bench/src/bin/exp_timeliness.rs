@@ -38,7 +38,11 @@ fn main() {
         ],
     );
     for batch in [1usize, 16, 64, 256, 1024, 0] {
-        let label = if batch == 0 { "unbounded".to_string() } else { batch.to_string() };
+        let label = if batch == 0 {
+            "unbounded".to_string()
+        } else {
+            batch.to_string()
+        };
         let row = run(&domain, batch, WalMode::Sealed);
         r.row_strings(vec![
             label,
@@ -89,10 +93,8 @@ fn run(
     let scheme = Protection::Degradation(
         AttributeLcp::from_pairs(&[(0, Duration::hours(1)), (3, Duration::days(30))]).unwrap(),
     );
-    db.create_table(
-        protected_location_schema("events", domain.hierarchy(), &scheme).unwrap(),
-    )
-    .unwrap();
+    db.create_table(protected_location_schema("events", domain.hierarchy(), &scheme).unwrap())
+        .unwrap();
     let mut rng = Rng::new(1);
     for i in 0..TUPLES {
         let addr = domain.sample_address(&mut rng).to_string();

@@ -48,7 +48,13 @@ fn main() {
     ];
     let mut r = Report::new(
         "E6 — rows answered per purpose after 45 simulated days",
-        &["scheme", "recent-exact(d0)", "user-history(city)", "country-stats(d3)", "live tuples"],
+        &[
+            "scheme",
+            "recent-exact(d0)",
+            "user-history(city)",
+            "country-stats(d3)",
+            "live tuples",
+        ],
     );
     for scheme in &schemes {
         let (exact, history, stats, live) = run(&domain, scheme);
@@ -83,10 +89,8 @@ fn run(domain: &LocationDomain, scheme: &Protection) -> (usize, usize, usize, us
         )
         .unwrap(),
     );
-    db.create_table(
-        protected_location_schema("events", domain.hierarchy(), scheme).unwrap(),
-    )
-    .unwrap();
+    db.create_table(protected_location_schema("events", domain.hierarchy(), scheme).unwrap())
+        .unwrap();
     let mut stream = EventStream::new(
         EventStreamConfig {
             events_per_hour: 15.0,
@@ -104,7 +108,11 @@ fn run(domain: &LocationDomain, scheme: &Protection) -> (usize, usize, usize, us
         db.pump_degradation().unwrap();
         db.insert(
             "events",
-            &[next.row[0].clone(), next.row[1].clone(), next.row[2].clone()],
+            &[
+                next.row[0].clone(),
+                next.row[1].clone(),
+                next.row[2].clone(),
+            ],
         )
         .unwrap();
         next = stream.next_event();
@@ -141,12 +149,7 @@ fn run(domain: &LocationDomain, scheme: &Protection) -> (usize, usize, usize, us
         .rows()
         .rows
         .len();
-    let live = db
-        .catalog()
-        .get("events")
-        .unwrap()
-        .live_count()
-        .unwrap();
+    let live = db.catalog().get("events").unwrap().live_count().unwrap();
     let _ = Value::Null;
     (exact, history, stats, live)
 }

@@ -68,7 +68,11 @@ impl MockClock {
     /// assumes monotonic time.
     pub fn set(&self, t: Timestamp) {
         let prev = self.micros.swap(t.0, Ordering::SeqCst);
-        assert!(prev <= t.0, "MockClock must be monotonic: {prev} -> {}", t.0);
+        assert!(
+            prev <= t.0,
+            "MockClock must be monotonic: {prev} -> {}",
+            t.0
+        );
     }
 
     /// Convenience: an `Arc<dyn Clock>` view of this clock.

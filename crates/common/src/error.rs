@@ -106,7 +106,7 @@ mod tests {
 
     #[test]
     fn io_error_converts_and_sources() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         let e: Error = io.into();
         assert_eq!(e.class(), "io");
         assert!(std::error::Error::source(&e).is_some());

@@ -65,12 +65,18 @@ impl Duration {
     }
 
     /// Integer division of durations (how many `other` fit in `self`).
+    /// Not `std::ops::Div`: the quotient is a dimensionless count, not a
+    /// `Duration`, and call sites should not need a trait import.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, other: Duration) -> u64 {
         assert!(other.0 > 0, "division by zero duration");
         self.0 / other.0
     }
 
     /// Scale by an integer factor (saturating).
+    /// Not `std::ops::Mul`: saturating semantics differ from the trait's
+    /// expected exact multiplication, and call sites avoid a trait import.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, k: u64) -> Duration {
         Duration(self.0.saturating_mul(k))
     }

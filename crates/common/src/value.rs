@@ -61,7 +61,10 @@ pub enum Value {
     Str(String),
     Timestamp(Timestamp),
     /// Half-open integer interval `[lo, hi)` — the degraded form of `Int`.
-    Range { lo: i64, hi: i64 },
+    Range {
+        lo: i64,
+        hi: i64,
+    },
     /// The value has reached the end of its life cycle and been expunged.
     Removed,
 }
@@ -329,7 +332,7 @@ mod tests {
 
     #[test]
     fn null_and_removed_sort_first() {
-        let mut vals = vec![Value::Int(1), Value::Null, Value::Removed];
+        let mut vals = [Value::Int(1), Value::Null, Value::Removed];
         vals.sort_by(|a, b| a.compare(b));
         assert!(vals[0].is_null() || vals[0].is_removed());
         assert_eq!(vals[2], Value::Int(1));

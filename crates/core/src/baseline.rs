@@ -87,8 +87,7 @@ pub fn protected_location_schema(
         vec![
             Column::stable("id", DataType::Int).with_index(),
             Column::stable("user", DataType::Str),
-            Column::degradable("location", DataType::Str, hierarchy, scheme.lcp()?)?
-                .with_index(),
+            Column::degradable("location", DataType::Str, hierarchy, scheme.lcp()?)?.with_index(),
         ],
     )
 }
@@ -146,10 +145,7 @@ mod tests {
         db.pump_degradation().unwrap();
         // …gone right after.
         assert_eq!(total_exposure(&db).unwrap(), 0.0);
-        assert_eq!(
-            db.catalog().get("events").unwrap().live_count().unwrap(),
-            0
-        );
+        assert_eq!(db.catalog().get("events").unwrap().live_count().unwrap(), 0);
     }
 
     #[test]

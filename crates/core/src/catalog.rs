@@ -134,8 +134,7 @@ impl Table {
             let col = self.schema.column(*cid);
             let d = col.degrader().expect("degradable");
             let level = d.lcp().stages()[0].level;
-            stored_row[cid.0 as usize] =
-                d.hierarchy().generalize(&row[cid.0 as usize], level)?;
+            stored_row[cid.0 as usize] = d.hierarchy().generalize(&row[cid.0 as usize], level)?;
         }
         let bytes = encode_stored_raw(now, &stages, &stored_row);
         let reserve = self.schema.reserve_size(row)?;
@@ -265,7 +264,9 @@ impl Table {
         let deg_cols = self.schema.degradable_columns();
         let mut deg = self.deg_indexes.write();
         for (slot, cid) in deg_cols.iter().enumerate() {
-            if let (Some(idx), Some(stage)) = (deg.get_mut(cid), tuple.stages.get(slot).copied().flatten()) {
+            if let (Some(idx), Some(stage)) =
+                (deg.get_mut(cid), tuple.stages.get(slot).copied().flatten())
+            {
                 let d = self.schema.column(*cid).degrader().expect("degradable");
                 let level = d.lcp().stages()[stage as usize].level;
                 idx.insert_at(level, &tuple.row[cid.0 as usize], tid)?;
@@ -284,7 +285,9 @@ impl Table {
         let deg_cols = self.schema.degradable_columns();
         let mut deg = self.deg_indexes.write();
         for (slot, cid) in deg_cols.iter().enumerate() {
-            if let (Some(idx), Some(stage)) = (deg.get_mut(cid), tuple.stages.get(slot).copied().flatten()) {
+            if let (Some(idx), Some(stage)) =
+                (deg.get_mut(cid), tuple.stages.get(slot).copied().flatten())
+            {
                 let d = self.schema.column(*cid).degrader().expect("degradable");
                 let level = d.lcp().stages()[stage as usize].level;
                 idx.remove_at(level, &tuple.row[cid.0 as usize], tid)?;
@@ -312,7 +315,12 @@ impl Table {
     }
 
     /// Equality probe on a degradable column's index at a specific level.
-    pub fn index_probe_deg(&self, cid: ColumnId, level: LevelId, key: &Value) -> Option<Vec<TupleId>> {
+    pub fn index_probe_deg(
+        &self,
+        cid: ColumnId,
+        level: LevelId,
+        key: &Value,
+    ) -> Option<Vec<TupleId>> {
         self.deg_indexes
             .read()
             .get(&cid)
@@ -419,7 +427,10 @@ impl Catalog {
         let key = schema.name.to_ascii_lowercase();
         let mut tables = self.tables.write();
         if tables.contains_key(&key) {
-            return Err(Error::Schema(format!("table {} already exists", schema.name)));
+            return Err(Error::Schema(format!(
+                "table {} already exists",
+                schema.name
+            )));
         }
         let id = TableId(
             self.next_id
@@ -443,13 +454,18 @@ impl Catalog {
         let key = schema.name.to_ascii_lowercase();
         let mut tables = self.tables.write();
         if tables.contains_key(&key) {
-            return Err(Error::Schema(format!("table {} already exists", schema.name)));
+            return Err(Error::Schema(format!(
+                "table {} already exists",
+                schema.name
+            )));
         }
         let table = Arc::new(Table::attach(id, schema, pool, pages, policy));
         tables.insert(key, table.clone());
         self.by_id.write().insert(id, table.clone());
         // Keep the id counter ahead of attached ids.
-        let _ = self.next_id.fetch_max(id.0 + 1, std::sync::atomic::Ordering::SeqCst);
+        let _ = self
+            .next_id
+            .fetch_max(id.0 + 1, std::sync::atomic::Ordering::SeqCst);
         Ok(table)
     }
 
@@ -518,7 +534,9 @@ mod tests {
     #[test]
     fn create_and_lookup() {
         let cat = Catalog::new();
-        let t = cat.create_table(schema(), pool(), SecurePolicy::Overwrite).unwrap();
+        let t = cat
+            .create_table(schema(), pool(), SecurePolicy::Overwrite)
+            .unwrap();
         assert_eq!(cat.get("PERSON").unwrap().id(), t.id());
         assert_eq!(cat.get_by_id(t.id()).unwrap().schema().name, "person");
         assert!(cat.get("missing").is_err());
@@ -531,7 +549,9 @@ mod tests {
     #[test]
     fn insert_read_scan() {
         let cat = Catalog::new();
-        let t = cat.create_table(schema(), pool(), SecurePolicy::Overwrite).unwrap();
+        let t = cat
+            .create_table(schema(), pool(), SecurePolicy::Overwrite)
+            .unwrap();
         let tid = t
             .insert_physical(Timestamp::micros(5), &row(1, "4 rue Jussieu"))
             .unwrap();
@@ -546,7 +566,9 @@ mod tests {
     #[test]
     fn indexes_populated_on_insert() {
         let cat = Catalog::new();
-        let t = cat.create_table(schema(), pool(), SecurePolicy::Overwrite).unwrap();
+        let t = cat
+            .create_table(schema(), pool(), SecurePolicy::Overwrite)
+            .unwrap();
         let tid = t
             .insert_physical(Timestamp::ZERO, &row(7, "Drienerlolaan 5"))
             .unwrap();
@@ -557,8 +579,12 @@ mod tests {
         );
         // Degradable index at level 0.
         assert_eq!(
-            t.index_probe_deg(ColumnId(1), LevelId(0), &Value::Str("Drienerlolaan 5".into()))
-                .unwrap(),
+            t.index_probe_deg(
+                ColumnId(1),
+                LevelId(0),
+                &Value::Str("Drienerlolaan 5".into())
+            )
+            .unwrap(),
             vec![tid]
         );
         assert_eq!(t.index_occupancy(ColumnId(1)).unwrap(), vec![1, 0, 0, 0]);
@@ -567,7 +593,9 @@ mod tests {
     #[test]
     fn rewrite_migrates_indexes() {
         let cat = Catalog::new();
-        let t = cat.create_table(schema(), pool(), SecurePolicy::Overwrite).unwrap();
+        let t = cat
+            .create_table(schema(), pool(), SecurePolicy::Overwrite)
+            .unwrap();
         let tid = t
             .insert_physical(Timestamp::ZERO, &row(1, "4 rue Jussieu"))
             .unwrap();
@@ -603,7 +631,9 @@ mod tests {
     #[test]
     fn expunge_clears_heap_and_indexes() {
         let cat = Catalog::new();
-        let t = cat.create_table(schema(), pool(), SecurePolicy::Overwrite).unwrap();
+        let t = cat
+            .create_table(schema(), pool(), SecurePolicy::Overwrite)
+            .unwrap();
         let tid = t
             .insert_physical(Timestamp::ZERO, &row(1, "Rue de la Paix"))
             .unwrap();
@@ -614,7 +644,11 @@ mod tests {
             .unwrap()
             .is_empty());
         assert!(t
-            .index_probe_deg(ColumnId(1), LevelId(0), &Value::Str("Rue de la Paix".into()))
+            .index_probe_deg(
+                ColumnId(1),
+                LevelId(0),
+                &Value::Str("Rue de la Paix".into())
+            )
             .unwrap()
             .is_empty());
         assert_eq!(t.live_count().unwrap(), 0);
@@ -623,7 +657,9 @@ mod tests {
     #[test]
     fn rebuild_indexes_matches_heap() {
         let cat = Catalog::new();
-        let t = cat.create_table(schema(), pool(), SecurePolicy::Overwrite).unwrap();
+        let t = cat
+            .create_table(schema(), pool(), SecurePolicy::Overwrite)
+            .unwrap();
         let mut tids = Vec::new();
         for i in 0..20 {
             tids.push(
@@ -644,7 +680,9 @@ mod tests {
             .unwrap()
             .is_empty());
         assert_eq!(
-            t.index_probe_stable(ColumnId(0), &Value::Int(5)).unwrap().len(),
+            t.index_probe_stable(ColumnId(0), &Value::Int(5))
+                .unwrap()
+                .len(),
             1
         );
     }
@@ -652,7 +690,9 @@ mod tests {
     #[test]
     fn stable_update_reindexes() {
         let cat = Catalog::new();
-        let t = cat.create_table(schema(), pool(), SecurePolicy::Overwrite).unwrap();
+        let t = cat
+            .create_table(schema(), pool(), SecurePolicy::Overwrite)
+            .unwrap();
         let tid = t
             .insert_physical(Timestamp::ZERO, &row(1, "4 rue Jussieu"))
             .unwrap();

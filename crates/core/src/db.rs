@@ -82,7 +82,7 @@ impl Default for DbConfig {
             key_window: Duration::hours(1),
             batch_max: 1024,
             path: None,
-            key_seed: 0x1D_B0_CAFE,
+            key_seed: 0x1DB0_CAFE,
         }
     }
 }
@@ -240,7 +240,10 @@ impl Db {
         // the accurate form at all.
         let stored = table.get(tid)?;
         let bytes = encode_stored_raw(stored.insert_ts, &stored.stages, &stored.row);
-        self.log(&LogRecord::Begin { tx: tx.id(), at: now })?;
+        self.log(&LogRecord::Begin {
+            tx: tx.id(),
+            at: now,
+        })?;
         self.log(&LogRecord::Insert {
             tx: tx.id(),
             table: table.id(),
@@ -248,7 +251,10 @@ impl Db {
             row: self.payload(&bytes, now)?,
             at: now,
         })?;
-        self.log(&LogRecord::Commit { tx: tx.id(), at: now })?;
+        self.log(&LogRecord::Commit {
+            tx: tx.id(),
+            at: now,
+        })?;
         self.log_sync()?;
         tx.commit()?;
         self.arm_transitions(&table, tid, &stored);
@@ -288,14 +294,20 @@ impl Db {
             return Err(Error::NotFound(format!("tuple {tid}")));
         }
         table.expunge_physical(tid)?;
-        self.log(&LogRecord::Begin { tx: tx.id(), at: now })?;
+        self.log(&LogRecord::Begin {
+            tx: tx.id(),
+            at: now,
+        })?;
         self.log(&LogRecord::Delete {
             tx: tx.id(),
             table: table.id(),
             tid,
             at: now,
         })?;
-        self.log(&LogRecord::Commit { tx: tx.id(), at: now })?;
+        self.log(&LogRecord::Commit {
+            tx: tx.id(),
+            at: now,
+        })?;
         self.log_sync()?;
         tx.commit()?;
         self.stats.user_deletes.fetch_add(1, Ordering::Relaxed);
@@ -333,7 +345,10 @@ impl Db {
         tuple.row[cid.0 as usize] = new_value.clone();
         table.rewrite_physical(tid, &tuple, &[], &[(cid, old_value, new_value)])?;
         let bytes = encode_stored_raw(tuple.insert_ts, &tuple.stages, &tuple.row);
-        self.log(&LogRecord::Begin { tx: tx.id(), at: now })?;
+        self.log(&LogRecord::Begin {
+            tx: tx.id(),
+            at: now,
+        })?;
         self.log(&LogRecord::Update {
             tx: tx.id(),
             table: table.id(),
@@ -341,7 +356,10 @@ impl Db {
             row: self.payload(&bytes, now)?,
             at: now,
         })?;
-        self.log(&LogRecord::Commit { tx: tx.id(), at: now })?;
+        self.log(&LogRecord::Commit {
+            tx: tx.id(),
+            at: now,
+        })?;
         self.log_sync()?;
         tx.commit()?;
         Ok(())
@@ -410,7 +428,10 @@ impl Db {
             }
         }
         if logged_begin {
-            self.log(&LogRecord::Commit { tx: tx.id(), at: now })?;
+            self.log(&LogRecord::Commit {
+                tx: tx.id(),
+                at: now,
+            })?;
             self.log_sync()?;
         }
         tx.commit()?;
@@ -444,7 +465,10 @@ impl Db {
         let old_value = tuple.row[cid.0 as usize].clone();
         let mut ensure_begin = |db: &Db| -> Result<()> {
             if !*logged_begin {
-                db.log(&LogRecord::Begin { tx: tx.id(), at: now })?;
+                db.log(&LogRecord::Begin {
+                    tx: tx.id(),
+                    at: now,
+                })?;
                 *logged_begin = true;
             }
             Ok(())
@@ -871,10 +895,7 @@ mod tests {
         reader.commit().unwrap();
         let r2 = db.pump_degradation().unwrap();
         assert_eq!(r2.fired, 1);
-        assert_eq!(
-            db.stats().degrader_lock_retries.load(Ordering::Relaxed),
-            1
-        );
+        assert_eq!(db.stats().degrader_lock_retries.load(Ordering::Relaxed), 1);
     }
 
     #[test]
@@ -1006,7 +1027,11 @@ mod tests {
         clock.advance(Duration::minutes(1));
         let db = Db::recover_with_schemas(cfg, clock.shared(), vec![schema()]).unwrap();
         let table = db.catalog().get("person").unwrap();
-        assert_eq!(table.live_count().unwrap(), 2, "both committed inserts live");
+        assert_eq!(
+            table.live_count().unwrap(),
+            2,
+            "both committed inserts live"
+        );
         // Scheduler re-armed for both tuples.
         assert_eq!(db.scheduler().len(), 2);
         for f in ["idb", "wal", "meta"] {
@@ -1016,8 +1041,7 @@ mod tests {
 
     #[test]
     fn recovery_does_not_resurrect_degraded_state() {
-        let dir =
-            std::env::temp_dir().join(format!("instantdb-rec2-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("instantdb-rec2-{}", std::process::id()));
         for f in ["idb", "wal", "meta"] {
             let _ = std::fs::remove_file(with_ext(&dir, f));
         }

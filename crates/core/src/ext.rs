@@ -69,10 +69,8 @@ pub fn degrade_where(
 ) -> Result<usize> {
     let mut advanced = 0;
     for (tid, tuple) in table.scan()? {
-        if condition(&tuple) {
-            if force_degrade(db, table, tid)? > 0 {
-                advanced += 1;
-            }
+        if condition(&tuple) && force_degrade(db, table, tid)? > 0 {
+            advanced += 1;
         }
     }
     Ok(advanced)
@@ -172,7 +170,10 @@ mod tests {
         let (_clock, db) = setup();
         let table = db.catalog().get("person").unwrap();
         let tid = db
-            .insert("person", &[Value::Int(1), Value::Str("4 rue Jussieu".into())])
+            .insert(
+                "person",
+                &[Value::Int(1), Value::Str("4 rue Jussieu".into())],
+            )
             .unwrap();
         // No time has passed — normally the tuple would stay accurate 1 h.
         let fired = force_degrade(&db, &table, tid).unwrap();
@@ -189,7 +190,10 @@ mod tests {
         let (_clock, db) = setup();
         let table = db.catalog().get("person").unwrap();
         let tid = db
-            .insert("person", &[Value::Int(1), Value::Str("4 rue Jussieu".into())])
+            .insert(
+                "person",
+                &[Value::Int(1), Value::Str("4 rue Jussieu".into())],
+            )
             .unwrap();
         db.delete_tuple(&table, tid).unwrap();
         assert_eq!(force_degrade(&db, &table, tid).unwrap(), 0);
@@ -207,9 +211,11 @@ mod tests {
             .unwrap();
         }
         // Degrade only even ids.
-        let n = degrade_where(&db, &table, |t| {
-            matches!(t.row[0], Value::Int(i) if i % 2 == 0)
-        })
+        let n = degrade_where(
+            &db,
+            &table,
+            |t| matches!(t.row[0], Value::Int(i) if i % 2 == 0),
+        )
         .unwrap();
         assert_eq!(n, 3);
         let cities = table
@@ -227,11 +233,9 @@ mod tests {
         let db = Db::open(DbConfig::default(), clock.shared()).unwrap();
         let gt: Arc<dyn Hierarchy> = Arc::new(location_tree_fig1());
         let standard = AttributeLcp::fig2_location();
-        let paranoid = AttributeLcp::from_pairs(&[
-            (0, Duration::minutes(5)),
-            (3, Duration::hours(1)),
-        ])
-        .unwrap();
+        let paranoid =
+            AttributeLcp::from_pairs(&[(0, Duration::minutes(5)), (3, Duration::hours(1))])
+                .unwrap();
         let routes = per_user_tables(&db, "events", gt, standard, paranoid).unwrap();
         insert_for_class(
             &db,

@@ -218,8 +218,11 @@ mod tests {
     #[test]
     fn stage_histogram_tracks_population() {
         let (clock, db) = setup();
-        db.insert("person", &[Value::Int(1), Value::Str("4 rue Jussieu".into())])
-            .unwrap();
+        db.insert(
+            "person",
+            &[Value::Int(1), Value::Str("4 rue Jussieu".into())],
+        )
+        .unwrap();
         clock.advance(Duration::hours(2));
         db.pump_degradation().unwrap();
         db.insert(

@@ -125,10 +125,7 @@ struct AccuracyVector {
 
 impl AccuracyVector {
     fn level_of(&self, cid: ColumnId) -> Option<LevelId> {
-        self.levels
-            .iter()
-            .find(|(c, _)| *c == cid)
-            .map(|(_, l)| *l)
+        self.levels.iter().find(|(c, _)| *c == cid).map(|(_, l)| *l)
     }
 }
 
@@ -155,10 +152,7 @@ fn resolve_accuracy(session: &Session, table: &Table) -> Result<AccuracyVector> 
     Ok(AccuracyVector { levels })
 }
 
-fn resolve_level_token(
-    token: &str,
-    h: &dyn instant_lcp::hierarchy::Hierarchy,
-) -> Result<LevelId> {
+fn resolve_level_token(token: &str, h: &dyn instant_lcp::hierarchy::Hierarchy) -> Result<LevelId> {
     if let Some(rest) = token.strip_prefix(['d', 'D']) {
         if let Ok(n) = rest.parse::<u8>() {
             return Ok(LevelId(n));
@@ -272,9 +266,7 @@ fn plan(table: &Table, predicate: Option<&Predicate>, acc: &AccuracyVector) -> A
     // Pass 2: range probes.
     for c in &conjuncts {
         let (column, lo, hi) = match c {
-            Predicate::Between { column, lo, hi } => {
-                (column, Some(lo.clone()), Some(hi.clone()))
-            }
+            Predicate::Between { column, lo, hi } => (column, Some(lo.clone()), Some(hi.clone())),
             Predicate::Cmp {
                 column,
                 op: ComparisonOp::Lt | ComparisonOp::Le,
@@ -329,7 +321,11 @@ fn widen_upper(v: Value) -> Value {
 }
 
 /// Gather candidate tuple ids for the path.
-fn candidates(table: &Table, path: &AccessPath, acc: &AccuracyVector) -> Result<Option<Vec<TupleId>>> {
+fn candidates(
+    table: &Table,
+    path: &AccessPath,
+    acc: &AccuracyVector,
+) -> Result<Option<Vec<TupleId>>> {
     match path {
         AccessPath::SeqScan => Ok(None),
         AccessPath::StableEq(cid, key) => Ok(table.index_probe_stable(*cid, key)),
@@ -492,7 +488,12 @@ fn select(
                 None => true,
             };
             if keep {
-                rows.push(proj_ids.iter().map(|c| view[c.0 as usize].clone()).collect());
+                rows.push(
+                    proj_ids
+                        .iter()
+                        .map(|c| view[c.0 as usize].clone())
+                        .collect(),
+                );
             }
         }
         let _ = tid;
@@ -533,11 +534,7 @@ fn select(
 /// DELETE with view-style semantics: the predicate is evaluated exactly as
 /// in SELECT (same accuracy degradation and computability rules); every
 /// qualifying tuple is then physically removed, stable attributes included.
-fn delete(
-    session: &Session,
-    table: &Arc<Table>,
-    predicate: Option<&Predicate>,
-) -> Result<usize> {
+fn delete(session: &Session, table: &Arc<Table>, predicate: Option<&Predicate>) -> Result<usize> {
     let db = session.db();
     let schema = table.schema();
     bind_predicate(schema, predicate)?;
@@ -637,9 +634,7 @@ mod tests {
         )
         .unwrap();
         let r = s
-            .execute(
-                "SELECT * FROM PERSON WHERE LOCATION LIKE '%FRANCE%' AND SALARY = '2000-3000'",
-            )
+            .execute("SELECT * FROM PERSON WHERE LOCATION LIKE '%FRANCE%' AND SALARY = '2000-3000'")
             .unwrap()
             .rows();
         // alice (France, 2340) and bob (France, 2890) qualify;
@@ -666,7 +661,10 @@ mod tests {
             .unwrap();
         let r = s.execute("SELECT * FROM person").unwrap().rows();
         assert_eq!(r.rows.len(), 4);
-        assert!(r.rows.iter().any(|row| row[2] == Value::Str("Paris".into())));
+        assert!(r
+            .rows
+            .iter()
+            .any(|row| row[2] == Value::Str("Paris".into())));
     }
 
     #[test]
@@ -679,10 +677,7 @@ mod tests {
             .unwrap(); // fresh at d0
         s.execute("DECLARE PURPOSE Q SET ACCURACY LEVEL COUNTRY FOR LOCATION, d3 FOR SALARY")
             .unwrap();
-        let r = s
-            .execute("SELECT id, location FROM person")
-            .unwrap()
-            .rows();
+        let r = s.execute("SELECT id, location FROM person").unwrap().rows();
         // All 5 compute country: 4 from city, 1 from address.
         assert_eq!(r.rows.len(), 5);
         let eve = r.rows.iter().find(|row| row[0] == Value::Int(5)).unwrap();

@@ -144,10 +144,9 @@ mod tests {
 
     #[test]
     fn lexes_paper_query() {
-        let toks = lex(
-            "SELECT * FROM PERSON WHERE LOCATION LIKE\"%FRANCE%\" AND SALARY = '2000-3000'",
-        )
-        .unwrap();
+        let toks =
+            lex("SELECT * FROM PERSON WHERE LOCATION LIKE\"%FRANCE%\" AND SALARY = '2000-3000'")
+                .unwrap();
         assert!(toks[0].is_kw("select"));
         assert_eq!(toks[1], Token::Symbol('*'));
         assert!(toks.contains(&Token::Str("%FRANCE%".into())));

@@ -333,10 +333,9 @@ mod tests {
 
     #[test]
     fn parses_paper_select() {
-        let s = parse(
-            "SELECT * FROM PERSON WHERE LOCATION LIKE '%FRANCE%' AND SALARY = '2000-3000'",
-        )
-        .unwrap();
+        let s =
+            parse("SELECT * FROM PERSON WHERE LOCATION LIKE '%FRANCE%' AND SALARY = '2000-3000'")
+                .unwrap();
         match s {
             Statement::Select {
                 table,

@@ -127,10 +127,8 @@ impl Session {
     pub fn run(&mut self, stmt: Statement) -> Result<QueryOutput> {
         match stmt {
             Statement::DeclarePurpose { name, items } => {
-                let pairs: Vec<(String, String)> = items
-                    .into_iter()
-                    .map(|i| (i.column, i.level))
-                    .collect();
+                let pairs: Vec<(String, String)> =
+                    items.into_iter().map(|i| (i.column, i.level)).collect();
                 self.declare_purpose(&name, &pairs);
                 Ok(QueryOutput::PurposeDeclared(name))
             }
@@ -155,10 +153,7 @@ mod tests {
     #[test]
     fn purpose_declaration_and_activation() {
         let mut s = session();
-        s.declare_purpose(
-            "stat",
-            &[("LOCATION".to_string(), "COUNTRY".to_string())],
-        );
+        s.declare_purpose("stat", &[("LOCATION".to_string(), "COUNTRY".to_string())]);
         assert!(s.active_purpose().is_some());
         assert_eq!(
             s.active_purpose().unwrap().levels.get("location").unwrap(),

@@ -29,13 +29,20 @@ pub struct PendingTransition {
 
 impl Ord for PendingTransition {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.due, self.table, self.tid, self.deg_slot, self.from_stage).cmp(&(
-            other.due,
-            other.table,
-            other.tid,
-            other.deg_slot,
-            other.from_stage,
-        ))
+        (
+            self.due,
+            self.table,
+            self.tid,
+            self.deg_slot,
+            self.from_stage,
+        )
+            .cmp(&(
+                other.due,
+                other.table,
+                other.tid,
+                other.deg_slot,
+                other.from_stage,
+            ))
     }
 }
 
@@ -68,7 +75,11 @@ impl Default for LatenessHistogram {
 impl LatenessHistogram {
     pub fn record(&mut self, d: Duration) {
         let us = d.as_micros();
-        let bucket = if us == 0 { 0 } else { 64 - us.leading_zeros() as usize };
+        let bucket = if us == 0 {
+            0
+        } else {
+            64 - us.leading_zeros() as usize
+        };
         self.buckets[bucket.min(63)] += 1;
         self.count += 1;
         self.sum_micros += us as u128;
@@ -237,10 +248,7 @@ mod tests {
     fn lateness_recording_and_quantiles() {
         let s = DegradationScheduler::new();
         for lateness_us in [1u64, 10, 100, 1000, 10_000] {
-            s.record_fired(
-                Timestamp::micros(0),
-                Timestamp::micros(lateness_us),
-            );
+            s.record_fired(Timestamp::micros(0), Timestamp::micros(lateness_us));
         }
         let h = s.lateness();
         assert_eq!(h.count(), 5);

@@ -44,7 +44,12 @@ impl Column {
         }
     }
 
-    pub fn degradable(name: &str, ty: DataType, hierarchy: Arc<dyn Hierarchy>, lcp: AttributeLcp) -> Result<Column> {
+    pub fn degradable(
+        name: &str,
+        ty: DataType,
+        hierarchy: Arc<dyn Hierarchy>,
+        lcp: AttributeLcp,
+    ) -> Result<Column> {
         Ok(Column {
             name: name.to_string(),
             ty,
@@ -227,14 +232,9 @@ mod tests {
             vec![
                 Column::stable("id", DataType::Int).with_index(),
                 Column::stable("name", DataType::Str),
-                Column::degradable(
-                    "location",
-                    DataType::Str,
-                    gt,
-                    AttributeLcp::fig2_location(),
-                )
-                .unwrap()
-                .with_index(),
+                Column::degradable("location", DataType::Str, gt, AttributeLcp::fig2_location())
+                    .unwrap()
+                    .with_index(),
                 Column::degradable(
                     "salary",
                     DataType::Int,

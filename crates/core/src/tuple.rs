@@ -40,11 +40,7 @@ pub struct StoredTuple {
 
 /// Encode a stored tuple. `stages` uses `Some(level)` semantics translated
 /// by the caller to stage indices; here we take raw stage options.
-pub fn encode_stored(
-    insert_ts: Timestamp,
-    stages: &[Option<LevelId>],
-    row: &[Value],
-) -> Vec<u8> {
+pub fn encode_stored(insert_ts: Timestamp, stages: &[Option<LevelId>], row: &[Value]) -> Vec<u8> {
     // Accept LevelId for ergonomic tests; stored as raw bytes.
     let mut out = Vec::with_capacity(META_BASE + stages.len() + 16 * row.len());
     raw::put_u64(&mut out, insert_ts.0);
@@ -190,10 +186,7 @@ mod tests {
             instant_common::Duration::micros(150)
         );
         // Clock earlier than insert saturates to zero.
-        assert_eq!(
-            t.age(Timestamp::micros(50)),
-            instant_common::Duration::ZERO
-        );
+        assert_eq!(t.age(Timestamp::micros(50)), instant_common::Duration::ZERO);
     }
 
     #[test]

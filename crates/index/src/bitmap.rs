@@ -292,10 +292,7 @@ mod tests {
         b.set(100);
         b.set(200);
         assert_eq!(a.and(&b).iter_ones().collect::<Vec<_>>(), vec![100]);
-        assert_eq!(
-            a.or(&b).iter_ones().collect::<Vec<_>>(),
-            vec![1, 100, 200]
-        );
+        assert_eq!(a.or(&b).iter_ones().collect::<Vec<_>>(), vec![1, 100, 200]);
     }
 
     #[test]

@@ -183,8 +183,7 @@ impl BPlusTree {
             }
             Some((parent, child_idx)) => {
                 let need_split = {
-                    let Node::Internal { keys, children } = &mut self.arena[parent as usize]
-                    else {
+                    let Node::Internal { keys, children } = &mut self.arena[parent as usize] else {
                         unreachable!()
                     };
                     keys.insert(child_idx, sep);
@@ -196,8 +195,7 @@ impl BPlusTree {
                 }
                 // Split internal node.
                 let (up_sep, new_node) = {
-                    let Node::Internal { keys, children } = &mut self.arena[parent as usize]
-                    else {
+                    let Node::Internal { keys, children } = &mut self.arena[parent as usize] else {
                         unreachable!()
                     };
                     let mid = keys.len() / 2;
@@ -393,7 +391,9 @@ mod tests {
         let mut model: BTreeMap<i64, Vec<TupleId>> = BTreeMap::new();
         let mut x = 12345u64;
         for i in 0..3000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = (x >> 33) as i64 % 500;
             t.insert(&Value::Int(k), tid(i));
             model.entry(k).or_default().push(tid(i));
@@ -446,10 +446,7 @@ mod tests {
         for city in ["Paris", "Lyon", "Enschede", "Amsterdam", "Versailles"] {
             t.insert(&Value::Str(city.into()), tid(city.len() as u64));
         }
-        assert_eq!(
-            t.get(&Value::Str("Paris".into())),
-            vec![tid(5)]
-        );
+        assert_eq!(t.get(&Value::Str("Paris".into())), vec![tid(5)]);
         let range = t
             .range(
                 Some(&Value::Str("Amsterdam".into())),

@@ -95,7 +95,9 @@ mod tests {
     fn no_range_support() {
         let mut idx = HashIndex::new();
         idx.insert(&Value::Int(1), tid(1));
-        assert!(idx.range(Some(&Value::Int(0)), Some(&Value::Int(9))).is_none());
+        assert!(idx
+            .range(Some(&Value::Int(0)), Some(&Value::Int(9)))
+            .is_none());
     }
 
     #[test]

@@ -78,9 +78,9 @@ impl MultiLevelIndex {
 
     fn level_mut(&mut self, k: LevelId) -> Result<&mut Box<dyn SecondaryIndex>> {
         let n = self.levels.len();
-        self.levels.get_mut(k.0 as usize).ok_or_else(|| {
-            Error::Accuracy(format!("index has {n} levels, requested d{}", k.0))
-        })
+        self.levels
+            .get_mut(k.0 as usize)
+            .ok_or_else(|| Error::Accuracy(format!("index has {n} levels, requested d{}", k.0)))
     }
 
     fn level(&self, k: LevelId) -> Result<&dyn SecondaryIndex> {
@@ -277,10 +277,8 @@ mod tests {
 
     #[test]
     fn explicit_structures_honored() {
-        let idx = MultiLevelIndex::with_structures(vec![
-            LevelStructure::Bitmap,
-            LevelStructure::BTree,
-        ]);
+        let idx =
+            MultiLevelIndex::with_structures(vec![LevelStructure::Bitmap, LevelStructure::BTree]);
         assert_eq!(idx.structure_at(LevelId(0)), Some(LevelStructure::Bitmap));
         assert_eq!(idx.structure_at(LevelId(1)), Some(LevelStructure::BTree));
     }

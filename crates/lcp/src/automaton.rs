@@ -72,10 +72,7 @@ impl AttributeLcp {
             acc += s.retention;
             boundaries.push(acc);
         }
-        Ok(AttributeLcp {
-            stages,
-            boundaries,
-        })
+        Ok(AttributeLcp { stages, boundaries })
     }
 
     /// Convenience constructor from `(level, retention)` pairs.
@@ -204,10 +201,8 @@ mod tests {
     #[test]
     fn lifetime_is_sum_of_retentions() {
         let lcp = AttributeLcp::fig2_location();
-        let expect = Duration::hours(1)
-            + Duration::days(1)
-            + Duration::months(1)
-            + Duration::months(1);
+        let expect =
+            Duration::hours(1) + Duration::days(1) + Duration::months(1) + Duration::months(1);
         assert_eq!(lcp.lifetime(), expect);
     }
 
@@ -227,21 +222,14 @@ mod tests {
         .unwrap();
         assert_eq!(
             lcp.transition_ages(),
-            &[
-                Duration::secs(10),
-                Duration::secs(30),
-                Duration::secs(60)
-            ]
+            &[Duration::secs(10), Duration::secs(30), Duration::secs(60)]
         );
     }
 
     #[test]
     fn next_transition_after_walks_the_chain() {
-        let lcp = AttributeLcp::from_pairs(&[
-            (0, Duration::secs(10)),
-            (1, Duration::secs(20)),
-        ])
-        .unwrap();
+        let lcp =
+            AttributeLcp::from_pairs(&[(0, Duration::secs(10)), (1, Duration::secs(20))]).unwrap();
         assert_eq!(
             lcp.next_transition_after(Duration::ZERO),
             Some((0, Duration::secs(10)))
@@ -257,32 +245,23 @@ mod tests {
     fn due_time_is_birth_plus_boundary() {
         let lcp = AttributeLcp::fig2_location();
         let birth = Timestamp::micros(5_000);
-        assert_eq!(
-            lcp.due_time(birth, 0),
-            Some(birth + Duration::hours(1))
-        );
+        assert_eq!(lcp.due_time(birth, 0), Some(birth + Duration::hours(1)));
         assert_eq!(lcp.due_time(birth, 4), None);
     }
 
     #[test]
     fn levels_may_skip_but_must_increase() {
         // Skipping levels is fine (d0 -> d2).
-        assert!(AttributeLcp::from_pairs(&[
-            (0, Duration::secs(1)),
-            (2, Duration::secs(1)),
-        ])
-        .is_ok());
+        assert!(
+            AttributeLcp::from_pairs(&[(0, Duration::secs(1)), (2, Duration::secs(1)),]).is_ok()
+        );
         // Repeating or decreasing is not.
-        assert!(AttributeLcp::from_pairs(&[
-            (1, Duration::secs(1)),
-            (1, Duration::secs(1)),
-        ])
-        .is_err());
-        assert!(AttributeLcp::from_pairs(&[
-            (2, Duration::secs(1)),
-            (0, Duration::secs(1)),
-        ])
-        .is_err());
+        assert!(
+            AttributeLcp::from_pairs(&[(1, Duration::secs(1)), (1, Duration::secs(1)),]).is_err()
+        );
+        assert!(
+            AttributeLcp::from_pairs(&[(2, Duration::secs(1)), (0, Duration::secs(1)),]).is_err()
+        );
     }
 
     #[test]

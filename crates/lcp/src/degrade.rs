@@ -132,18 +132,18 @@ mod tests {
     fn exposure_decreases_stepwise() {
         let d = location_degrader();
         let v0 = Value::Str("4 rue Jussieu".into());
-        let ages = [
-            D::ZERO,
-            D::hours(2),
-            D::days(2),
-            D::days(40),
-            D::days(400),
-        ];
+        let ages = [D::ZERO, D::hours(2), D::days(2), D::days(40), D::days(400)];
         let exps: Vec<f64> = ages.iter().map(|a| d.exposure_at(&v0, *a)).collect();
         for pair in exps.windows(2) {
-            assert!(pair[1] <= pair[0] + 1e-12, "exposure must not increase: {exps:?}");
+            assert!(
+                pair[1] <= pair[0] + 1e-12,
+                "exposure must not increase: {exps:?}"
+            );
         }
-        assert!((exps[0] - 1.0).abs() < 1e-9, "accurate state = full exposure");
+        assert!(
+            (exps[0] - 1.0).abs() < 1e-9,
+            "accurate state = full exposure"
+        );
         assert_eq!(exps[4], 0.0, "removed = zero exposure");
     }
 
@@ -156,7 +156,10 @@ mod tests {
             d.degrade_to(&city, LevelId(3)).unwrap(),
             Value::Str("France".into())
         );
-        assert_eq!(d.degrade_to(&Value::Removed, LevelId(2)).unwrap(), Value::Removed);
+        assert_eq!(
+            d.degrade_to(&Value::Removed, LevelId(2)).unwrap(),
+            Value::Removed
+        );
     }
 
     #[test]
@@ -171,7 +174,10 @@ mod tests {
         let d = location_degrader();
         let v0 = Value::Str("Drienerlolaan 5".into());
         let m = d.mean_lifetime_exposure(&v0);
-        assert!(m > 0.0 && m < 1.0, "mean exposure {m} must be strictly inside (0,1)");
+        assert!(
+            m > 0.0 && m < 1.0,
+            "mean exposure {m} must be strictly inside (0,1)"
+        );
         // A pure-retention policy (single d0 stage) has mean exposure 1.
         let ret = Degrader::new(
             Arc::new(location_tree_fig1()),
@@ -187,12 +193,8 @@ mod tests {
     fn numeric_degrader_end_to_end() {
         let d = Degrader::new(
             Arc::new(RangeHierarchy::salary()),
-            AttributeLcp::from_pairs(&[
-                (0, D::minutes(10)),
-                (2, D::days(30)),
-                (3, D::days(335)),
-            ])
-            .unwrap(),
+            AttributeLcp::from_pairs(&[(0, D::minutes(10)), (2, D::days(30)), (3, D::days(335))])
+                .unwrap(),
         )
         .unwrap();
         let v0 = Value::Int(2340);

@@ -280,13 +280,33 @@ impl Hierarchy for GeneralizationTree {
 /// authors' affiliations. Used by unit tests and the model demo (E1).
 pub fn location_tree_fig1() -> GeneralizationTree {
     GeneralizationTree::builder("location", &["address", "city", "region", "country"])
-        .path(&["Domaine de Voluceau", "Le Chesnay", "Ile-de-France", "France"])
-        .path(&["45 avenue des Etats-Unis", "Versailles", "Ile-de-France", "France"])
+        .path(&[
+            "Domaine de Voluceau",
+            "Le Chesnay",
+            "Ile-de-France",
+            "France",
+        ])
+        .path(&[
+            "45 avenue des Etats-Unis",
+            "Versailles",
+            "Ile-de-France",
+            "France",
+        ])
         .path(&["4 rue Jussieu", "Paris", "Ile-de-France", "France"])
         .path(&["Rue de la Paix", "Lyon", "Auvergne-Rhone-Alpes", "France"])
         .path(&["Drienerlolaan 5", "Enschede", "Overijssel", "Netherlands"])
-        .path(&["Hengelosestraat 99", "Enschede2", "Overijssel", "Netherlands"])
-        .path(&["Science Park 123", "Amsterdam", "Noord-Holland", "Netherlands"])
+        .path(&[
+            "Hengelosestraat 99",
+            "Enschede2",
+            "Overijssel",
+            "Netherlands",
+        ])
+        .path(&[
+            "Science Park 123",
+            "Amsterdam",
+            "Noord-Holland",
+            "Netherlands",
+        ])
         .build()
         .expect("fig1 tree is well-formed")
 }

@@ -92,7 +92,10 @@ mod tests {
     #[test]
     fn f_k_passes_removed_through() {
         let t = tiny_tree();
-        assert_eq!(f_k(&t, &Value::Removed, LevelId(0)).unwrap(), Value::Removed);
+        assert_eq!(
+            f_k(&t, &Value::Removed, LevelId(0)).unwrap(),
+            Value::Removed
+        );
     }
 
     #[test]
@@ -107,9 +110,6 @@ mod tests {
         let t = tiny_tree();
         let eu = Value::Str("EU".into());
         // EU is level 1; asking for level 0 must fail (not computable).
-        assert!(matches!(
-            f_k(&t, &eu, LevelId(0)),
-            Err(Error::Accuracy(_))
-        ));
+        assert!(matches!(f_k(&t, &eu, LevelId(0)), Err(Error::Accuracy(_))));
     }
 }

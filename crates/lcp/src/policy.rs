@@ -17,8 +17,8 @@
 //! exact:10min -> range1000:30d             -- named levels of a range hierarchy
 //! ```
 
-use instant_common::{Error, LevelId, Result};
 use instant_common::time::parse_duration;
+use instant_common::{Error, LevelId, Result};
 
 use crate::automaton::{AttributeLcp, LcpStage};
 use crate::hierarchy::Hierarchy;
@@ -30,14 +30,19 @@ pub fn parse_lcp(spec: &str, hierarchy: Option<&dyn Hierarchy>) -> Result<Attrib
     for (i, part) in spec.split("->").enumerate() {
         let part = part.trim();
         if part.is_empty() {
-            return Err(Error::Parse(format!("empty stage at position {i} in LCP '{spec}'")));
+            return Err(Error::Parse(format!(
+                "empty stage at position {i} in LCP '{spec}'"
+            )));
         }
-        let (level_str, dur_str) = part.split_once(':').ok_or_else(|| {
-            Error::Parse(format!("stage '{part}' must be '<level>:<duration>'"))
-        })?;
+        let (level_str, dur_str) = part
+            .split_once(':')
+            .ok_or_else(|| Error::Parse(format!("stage '{part}' must be '<level>:<duration>'")))?;
         let level = resolve_level(level_str.trim(), hierarchy)?;
         let retention = parse_duration(dur_str.trim()).ok_or_else(|| {
-            Error::Parse(format!("bad duration '{}' in stage '{part}'", dur_str.trim()))
+            Error::Parse(format!(
+                "bad duration '{}' in stage '{part}'",
+                dur_str.trim()
+            ))
         })?;
         stages.push(LcpStage { level, retention });
     }
@@ -102,8 +107,11 @@ mod tests {
     #[test]
     fn named_levels_resolve_through_gt() {
         let gt = location_tree_fig1();
-        let lcp = parse_lcp("address:1h -> city:1d -> region:1mo -> country:1mo", Some(&gt))
-            .unwrap();
+        let lcp = parse_lcp(
+            "address:1h -> city:1d -> region:1mo -> country:1mo",
+            Some(&gt),
+        )
+        .unwrap();
         assert_eq!(lcp, AttributeLcp::fig2_location());
     }
 

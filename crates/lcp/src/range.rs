@@ -99,7 +99,9 @@ impl Hierarchy for RangeHierarchy {
 
     fn level_of(&self, v: &Value) -> Option<LevelId> {
         match v {
-            Value::Int(_) => Some(LevelId(if self.widths[0] == 1 { 0 } else { 0 })),
+            // A bare integer can only be the accurate state: every coarser
+            // level materializes as a `Value::Range`.
+            Value::Int(_) => Some(LevelId(0)),
             Value::Range { lo, hi } => {
                 let w = hi - lo;
                 self.widths
@@ -133,7 +135,10 @@ impl Hierarchy for RangeHierarchy {
                     )));
                 }
                 let (nlo, nhi) = Self::align(*lo, w);
-                debug_assert!(nlo <= *lo && nhi >= *hi, "coarser interval must contain finer");
+                debug_assert!(
+                    nlo <= *lo && nhi >= *hi,
+                    "coarser interval must contain finer"
+                );
                 if w == 1 {
                     Ok(Value::Int(*lo))
                 } else {
@@ -186,7 +191,9 @@ mod tests {
             Value::Range { lo: 2000, hi: 3000 }
         );
         assert_eq!(
-            h.generalize(&Value::Int(2340), LevelId(2)).unwrap().to_string(),
+            h.generalize(&Value::Int(2340), LevelId(2))
+                .unwrap()
+                .to_string(),
             "2000-3000"
         );
     }

@@ -222,12 +222,7 @@ mod tests {
     #[test]
     fn final_transition_has_no_target_level() {
         let t = two_attr();
-        let last_loc = t
-            .events()
-            .iter()
-            .filter(|e| e.attr == 0)
-            .last()
-            .unwrap();
+        let last_loc = t.events().iter().rfind(|e| e.attr == 0).unwrap();
         assert_eq!(last_loc.to_level, None);
         let first_loc = t.events().iter().find(|e| e.attr == 0).unwrap();
         assert_eq!(first_loc.to_level, Some(LevelId(1)));

@@ -129,7 +129,9 @@ impl<'a> SlottedPage<'a> {
             )));
         }
         if cap > u16::MAX as usize {
-            return Err(Error::Capacity(format!("capacity {cap}B exceeds page limit")));
+            return Err(Error::Capacity(format!(
+                "capacity {cap}B exceeds page limit"
+            )));
         }
         // Reuse a tombstone id (fresh space is still carved from the free
         // region; tombstone space is reclaimed by compact()).
@@ -481,7 +483,7 @@ mod tests {
             p.compact();
         }
         assert!(!contains(&buf, b"GHOST-DATA"), "vacuum must scrub residue");
-        let mut p = SlottedPage::new(&mut buf);
+        let p = SlottedPage::new(&mut buf);
         assert_eq!(p.live_slots().len(), 1);
         let keep = p.live_slots()[0];
         assert_eq!(p.read(keep).unwrap(), b"keep");

@@ -10,9 +10,19 @@ use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Insert { len: usize, cap_extra: usize, fill: u8 },
-    Update { pick: usize, len: usize, fill: u8 },
-    Delete { pick: usize },
+    Insert {
+        len: usize,
+        cap_extra: usize,
+        fill: u8,
+    },
+    Update {
+        pick: usize,
+        len: usize,
+        fill: u8,
+    },
+    Delete {
+        pick: usize,
+    },
     Compact,
 }
 
@@ -34,7 +44,11 @@ fn run_fuzz(ops: Vec<Op>, policy: SecurePolicy) -> Result<(), TestCaseError> {
     let mut model: HashMap<SlotId, (usize, Vec<u8>)> = HashMap::new();
     for op in ops {
         match op {
-            Op::Insert { len, cap_extra, fill } => {
+            Op::Insert {
+                len,
+                cap_extra,
+                fill,
+            } => {
                 let data = vec![fill; len];
                 let cap = len + cap_extra;
                 match page.insert(&data, cap) {

@@ -155,12 +155,7 @@ impl LockManager {
 
     /// Locks currently held by `tx`.
     pub fn held_by(&self, tx: TxId) -> Vec<Resource> {
-        self.state
-            .lock()
-            .held
-            .get(&tx)
-            .cloned()
-            .unwrap_or_default()
+        self.state.lock().held.get(&tx).cloned().unwrap_or_default()
     }
 
     /// `(grants, conflicts, wait-die aborts)` counters.
@@ -317,9 +312,8 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for _ in 0..50u64 {
                     loop {
-                        let id = TxId(
-                            1000 + counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst),
-                        );
+                        let id =
+                            TxId(1000 + counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst));
                         let r1 = tuple((id.0 % 4) as u16);
                         let r2 = tuple(((id.0 + 1) % 4) as u16);
                         let ok = lm.lock(id, r1, LockMode::Exclusive).is_ok()

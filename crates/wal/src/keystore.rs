@@ -214,9 +214,7 @@ mod tests {
     fn different_windows_different_keys() {
         let ks = ks();
         let (w1, k1) = ks.key_for(Timestamp::ZERO).unwrap();
-        let (w2, k2) = ks
-            .key_for(Timestamp::ZERO + Duration::hours(2))
-            .unwrap();
+        let (w2, k2) = ks.key_for(Timestamp::ZERO + Duration::hours(2)).unwrap();
         assert_ne!(w1, w2);
         assert_ne!(k1, k2);
     }
@@ -225,9 +223,7 @@ mod tests {
     fn shred_destroys_old_keys_only() {
         let ks = ks();
         let (w0, _) = ks.key_for(Timestamp::ZERO).unwrap();
-        let (w5, _) = ks
-            .key_for(Timestamp::ZERO + Duration::hours(5))
-            .unwrap();
+        let (w5, _) = ks.key_for(Timestamp::ZERO + Duration::hours(5)).unwrap();
         let victims = ks.shred_before(Timestamp::ZERO + Duration::hours(5));
         assert_eq!(victims, vec![w0]);
         assert!(ks.is_shredded(w0));

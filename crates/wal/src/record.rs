@@ -497,10 +497,7 @@ mod tests {
     #[test]
     fn tx_and_at_accessors() {
         let t = Timestamp::micros(5);
-        assert_eq!(
-            LogRecord::Begin { tx: TxId(7), at: t }.tx(),
-            Some(TxId(7))
-        );
+        assert_eq!(LogRecord::Begin { tx: TxId(7), at: t }.tx(), Some(TxId(7)));
         assert_eq!(LogRecord::Checkpoint { at: t }.tx(), None);
         assert_eq!(LogRecord::Checkpoint { at: t }.at(), t);
     }

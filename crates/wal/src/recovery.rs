@@ -142,10 +142,8 @@ pub fn replay(records: &[(Lsn, LogRecord)], ks: &KeyStore) -> RecoveryPlan {
                 plan.losers.insert(*tx);
                 plan.committed.remove(tx);
             }
-            LogRecord::Begin { tx, .. } => {
-                if !plan.committed.contains(tx) {
-                    plan.losers.insert(*tx);
-                }
+            LogRecord::Begin { tx, .. } if !plan.committed.contains(tx) => {
+                plan.losers.insert(*tx);
             }
             _ => {}
         }
@@ -286,7 +284,11 @@ mod tests {
     }
 
     fn seq(records: Vec<LogRecord>) -> Vec<(Lsn, LogRecord)> {
-        records.into_iter().enumerate().map(|(i, r)| (i as u64, r)).collect()
+        records
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (i as u64, r))
+            .collect()
     }
 
     fn insert(tx: u64, slot: u16, body: &[u8]) -> LogRecord {

@@ -169,7 +169,10 @@ impl Wal {
             f.get_ref().sync_all()?;
         }
         std::fs::rename(&tmp, &self.path)?;
-        let file = OpenOptions::new().append(true).read(true).open(&self.path)?;
+        let file = OpenOptions::new()
+            .append(true)
+            .read(true)
+            .open(&self.path)?;
         inner.writer = BufWriter::new(file);
         inner.base_lsn = base + dropped;
         Ok(dropped)
@@ -236,7 +239,10 @@ impl Wal {
         let len = f.metadata()?.len();
         f.set_len(len.saturating_sub(n))?;
         drop(f);
-        let file = OpenOptions::new().append(true).read(true).open(&self.path)?;
+        let file = OpenOptions::new()
+            .append(true)
+            .read(true)
+            .open(&self.path)?;
         inner.writer = BufWriter::new(file);
         Ok(())
     }
@@ -252,9 +258,9 @@ impl Drop for Wal {
 
 /// Helper for benches: total on-disk size of the log in bytes.
 pub fn log_size(wal: &Wal) -> Result<u64> {
-    Ok(std::fs::metadata(wal.path())
+    std::fs::metadata(wal.path())
         .map(|m| m.len())
-        .map_err(Error::from)?)
+        .map_err(Error::from)
 }
 
 #[cfg(test)]
@@ -291,10 +297,8 @@ mod tests {
 
     #[test]
     fn reopen_continues_lsns() {
-        let path = std::env::temp_dir().join(format!(
-            "instantdb-wal-reopen-{}.log",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("instantdb-wal-reopen-{}.log", std::process::id()));
         let _ = std::fs::remove_file(&path);
         {
             let wal = Wal::open(&path).unwrap();

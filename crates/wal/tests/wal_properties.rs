@@ -37,7 +37,15 @@ fn arb_record() -> impl Strategy<Value = LogRecord> {
                 at: Timestamp(at),
             }
         ),
-        (0u64..100, 0u32..10, 0u64..1000, 0u16..8, proptest::option::of(0u8..4), arb_payload(), t.clone())
+        (
+            0u64..100,
+            0u32..10,
+            0u64..1000,
+            0u16..8,
+            proptest::option::of(0u8..4),
+            arb_payload(),
+            t.clone()
+        )
             .prop_map(|(tx, table, tid, col, lv, row, at)| LogRecord::Degrade {
                 tx: TxId(tx),
                 table: TableId(table),
@@ -143,7 +151,7 @@ proptest! {
             .iter()
             .filter(|(_, r)| matches!(r, LogRecord::Checkpoint { .. }))
             .map(|(l, _)| *l)
-            .last();
+            .next_back();
         let start = ckpt.map(|l| l + 1).unwrap_or(0);
         let committed: std::collections::HashSet<TxId> = seq
             .iter()

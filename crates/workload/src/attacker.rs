@@ -104,7 +104,10 @@ pub fn forensic_needles<'a>(values: impl IntoIterator<Item = &'a str>) -> Forens
 }
 
 /// Convenience: scan a database's raw heap+WAL images with the scanner.
-pub fn forensic_scan(db: &Db, scanner: &ForensicScanner) -> Result<instant_storage::secure::ForensicReport> {
+pub fn forensic_scan(
+    db: &Db,
+    scanner: &ForensicScanner,
+) -> Result<instant_storage::secure::ForensicReport> {
     let images = db.forensic_images()?;
     let slices: Vec<&[u8]> = images.iter().map(|(_, b)| b.as_slice()).collect();
     Ok(scanner.scan(slices))
@@ -148,8 +151,11 @@ mod tests {
     #[test]
     fn snapshot_sees_accurate_values_only_while_accurate() {
         let (clock, db) = setup();
-        db.insert("person", &[Value::Int(1), Value::Str("4 rue Jussieu".into())])
-            .unwrap();
+        db.insert(
+            "person",
+            &[Value::Int(1), Value::Str("4 rue Jussieu".into())],
+        )
+        .unwrap();
         let mut attacker = SnapshotAttacker::new();
         let obs = attacker.snapshot(&db).unwrap();
         assert_eq!(obs.accurate_values, vec!["4 rue Jussieu".to_string()]);
@@ -169,8 +175,11 @@ mod tests {
         let (clock, db) = setup();
         let mut attacker = SnapshotAttacker::new();
         // Value inserted, degrades after 1 h; attacker arrives at t=2 h.
-        db.insert("person", &[Value::Int(1), Value::Str("Rue de la Paix".into())])
-            .unwrap();
+        db.insert(
+            "person",
+            &[Value::Int(1), Value::Str("Rue de la Paix".into())],
+        )
+        .unwrap();
         clock.advance(Duration::hours(2));
         db.pump_degradation().unwrap();
         attacker.snapshot(&db).unwrap();
@@ -184,14 +193,15 @@ mod tests {
     #[test]
     fn forensic_scanner_round_trip() {
         let (_clock, db) = setup();
-        db.insert("person", &[Value::Int(1), Value::Str("Science Park 123".into())])
-            .unwrap();
+        db.insert(
+            "person",
+            &[Value::Int(1), Value::Str("Science Park 123".into())],
+        )
+        .unwrap();
         let scanner = forensic_needles(["Science Park 123", "Nonexistent St"]);
         let report = forensic_scan(&db, &scanner).unwrap();
         // Live heap still holds the accurate value (it has not degraded).
-        assert!(report
-            .recovered
-            .contains(&b"Science Park 123".to_vec()));
+        assert!(report.recovered.contains(&b"Science Park 123".to_vec()));
         assert!(!report.recovered.contains(&b"Nonexistent St".to_vec()));
     }
 }

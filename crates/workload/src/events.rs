@@ -76,7 +76,7 @@ impl<'d> EventStream<'d> {
     pub fn next_event(&mut self) -> Event {
         let rate_per_us = self.cfg.events_per_hour / (3600.0 * 1e6);
         let gap_us = self.rng.exponential(rate_per_us).min(1e15) as u64;
-        self.now = self.now + Duration::micros(gap_us.max(1));
+        self.now += Duration::micros(gap_us.max(1));
         let id = self.next_id;
         self.next_id += 1;
         let user = self.users.sample(&mut self.rng);

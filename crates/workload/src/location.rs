@@ -40,8 +40,7 @@ impl Default for LocationShape {
 
 impl LocationShape {
     pub fn leaf_count(&self) -> usize {
-        self.countries * self.regions_per_country * self.cities_per_region
-            * self.addresses_per_city
+        self.countries * self.regions_per_country * self.cities_per_region * self.addresses_per_city
     }
 }
 
@@ -63,12 +62,9 @@ impl std::fmt::Debug for LocationDomain {
 impl LocationDomain {
     /// Generate the domain. `theta` is the Zipf skew over addresses.
     pub fn generate(shape: LocationShape, theta: f64) -> LocationDomain {
-        let mut builder = GeneralizationTree::builder(
-            "location",
-            &["address", "city", "region", "country"],
-        );
-        let mut addresses =
-            Vec::with_capacity(shape.leaf_count());
+        let mut builder =
+            GeneralizationTree::builder("location", &["address", "city", "region", "country"]);
+        let mut addresses = Vec::with_capacity(shape.leaf_count());
         for c in 0..shape.countries {
             let country = format!("Country{c:02}");
             for r in 0..shape.regions_per_country {
@@ -114,10 +110,7 @@ impl LocationDomain {
     /// A specific level-`k` label reachable from some leaf — handy for
     /// building predicates at degraded levels.
     pub fn label_at(&self, leaf: &str, level: u8) -> String {
-        let path = self
-            .tree
-            .degradation_path(leaf)
-            .expect("leaf exists");
+        let path = self.tree.degradation_path(leaf).expect("leaf exists");
         path.iter()
             .find(|(l, _)| l.0 == level)
             .map(|(_, s)| s.clone())

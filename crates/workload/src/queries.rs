@@ -69,17 +69,17 @@ impl<'d> QueryGen<'d> {
     }
 
     fn purpose_at(&self, level: u8) -> String {
-        format!(
-            "DECLARE PURPOSE Q SET ACCURACY LEVEL d{level} FOR LOCATION, d3 FOR SALARY"
-        )
+        format!("DECLARE PURPOSE Q SET ACCURACY LEVEL d{level} FOR LOCATION, d3 FOR SALARY")
     }
 
     /// Generate one query according to the mix.
     pub fn next_query(&mut self) -> GeneratedQuery {
         let m = self.mix;
-        let total =
-            m.point_by_id + m.location_eq_accurate + m.location_eq_degraded + m.salary_band
-                + m.like_country;
+        let total = m.point_by_id
+            + m.location_eq_accurate
+            + m.location_eq_degraded
+            + m.salary_band
+            + m.like_country;
         let mut x = self.rng.unit() * total;
         x -= m.point_by_id;
         if x < 0.0 {

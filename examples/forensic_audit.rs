@@ -72,7 +72,10 @@ fn run(config_name: &str, secure: SecurePolicy, wal_mode: WalMode) -> Result<()>
         FRAGMENTS.len(),
     );
     for r in &r2.recovered {
-        println!("             still leaking after checkpoint: {}", String::from_utf8_lossy(r));
+        println!(
+            "             still leaking after checkpoint: {}",
+            String::from_utf8_lossy(r)
+        );
     }
     Ok(())
 }

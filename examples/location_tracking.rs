@@ -104,7 +104,11 @@ fn main() -> Result<()> {
         println!(
             "\nexposure[{}]: {} tuples, {:.1} residual bits-worth, \
              {} accurate / {} degraded / {} removed values",
-            r.table, r.tuples, r.total_exposure, r.accurate_values, r.degraded_values,
+            r.table,
+            r.tuples,
+            r.total_exposure,
+            r.accurate_values,
+            r.degraded_values,
             r.removed_values
         );
         println!("stage histogram: {:?}", r.stage_histogram);

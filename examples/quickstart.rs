@@ -71,7 +71,10 @@ fn main() -> Result<()> {
         .execute("SELECT * FROM PERSON WHERE LOCATION LIKE '%FRANCE%'")?
         .rows();
     for row in &r.rows {
-        println!("  {:?}", row.iter().map(|v| v.to_string()).collect::<Vec<_>>());
+        println!(
+            "  {:?}",
+            row.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
     }
 
     clock.advance(Duration::months(3));
@@ -81,10 +84,7 @@ fn main() -> Result<()> {
         report.expunged,
         db.catalog().get("person")?.live_count()?
     );
-    println!(
-        "total residual exposure: {:.3}",
-        total_exposure(&db)?
-    );
+    println!("total residual exposure: {:.3}", total_exposure(&db)?);
     Ok(())
 }
 
@@ -96,7 +96,10 @@ fn show(session: &mut Session, purpose: Option<&str>) -> Result<()> {
     for row in &r.rows {
         println!(
             "  {}",
-            row.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" | ")
+            row.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(" | ")
         );
     }
     Ok(())

@@ -60,7 +60,10 @@ fn main() -> Result<()> {
                 db.pump_degradation()?;
             }
             // The baseline schema is (id, user, location).
-            db.insert("events", &[e.row[0].clone(), e.row[1].clone(), e.row[2].clone()])?;
+            db.insert(
+                "events",
+                &[e.row[0].clone(), e.row[1].clone(), e.row[2].clone()],
+            )?;
         }
         clock.set(horizon);
         db.pump_degradation()?;

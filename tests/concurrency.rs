@@ -16,14 +16,9 @@ fn setup() -> (MockClock, Arc<Db>) {
             "person",
             vec![
                 Column::stable("id", DataType::Int).with_index(),
-                Column::degradable(
-                    "location",
-                    DataType::Str,
-                    gt,
-                    AttributeLcp::fig2_location(),
-                )
-                .unwrap()
-                .with_index(),
+                Column::degradable("location", DataType::Str, gt, AttributeLcp::fig2_location())
+                    .unwrap()
+                    .with_index(),
             ],
         )
         .unwrap(),
@@ -128,7 +123,10 @@ fn degrader_races_readers_without_corruption() {
     total.fired += tail.fired;
 
     assert_eq!(total.fired, 200, "every transition eventually fires");
-    assert!(read_counts.iter().sum::<usize>() > 0, "readers made progress");
+    assert!(
+        read_counts.iter().sum::<usize>() > 0,
+        "readers made progress"
+    );
     let table = db.catalog().get("person").unwrap();
     for (_, t) in table.scan().unwrap() {
         assert_eq!(t.row[1], Value::Str("Enschede".into()));
@@ -139,7 +137,10 @@ fn degrader_races_readers_without_corruption() {
 fn wait_die_aborts_are_retryable_under_load() {
     let (_clock, db) = setup();
     let tid = db
-        .insert("person", &[Value::Int(1), Value::Str("4 rue Jussieu".into())])
+        .insert(
+            "person",
+            &[Value::Int(1), Value::Str("4 rue Jussieu".into())],
+        )
         .unwrap();
     let table = db.catalog().get("person").unwrap();
     let threads = 6;

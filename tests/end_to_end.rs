@@ -99,7 +99,10 @@ fn tuple_state_partitions_are_respected() {
         .iter()
         .filter(|r| r[1] == Value::Str("Versailles".into()))
         .count();
-    assert_eq!(versailles, 1, "fresh frank degrades to Versailles on the fly");
+    assert_eq!(
+        versailles, 1,
+        "fresh frank degrades to Versailles on the fly"
+    );
 }
 
 #[test]
@@ -176,7 +179,12 @@ fn full_life_cycle_empties_the_table() {
     let report = s.db().pump_degradation().unwrap();
     assert_eq!(report.expunged, 5);
     assert_eq!(
-        s.db().catalog().get("person").unwrap().live_count().unwrap(),
+        s.db()
+            .catalog()
+            .get("person")
+            .unwrap()
+            .live_count()
+            .unwrap(),
         0
     );
     // Every accuracy level now yields the empty answer.
@@ -201,8 +209,13 @@ fn degradable_attributes_are_immutable_stable_ones_not() {
     let table = db.catalog().get("person").unwrap();
     let (tid, _) = table.scan().unwrap()[0];
     // Stable update ok.
-    db.update_stable(&table, tid, instantdb::common::ColumnId(1), Value::Str("zoe".into()))
-        .unwrap();
+    db.update_stable(
+        &table,
+        tid,
+        instantdb::common::ColumnId(1),
+        Value::Str("zoe".into()),
+    )
+    .unwrap();
     // Degradable update refused.
     let err = db
         .update_stable(

@@ -1,0 +1,41 @@
+//! Smoke test: every example in `examples/` must build and run to
+//! completion. Examples are the documented entry points to the engine;
+//! a PR that silently breaks one should fail `cargo test`, not wait for
+//! a human to try the README commands.
+//!
+//! The four examples run in well under a minute each even unoptimized;
+//! they use `MockClock`, so no wall-clock time is spent waiting for
+//! degradation delays.
+
+use std::process::Command;
+
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "location_tracking",
+    "forensic_audit",
+    "retention_vs_degradation",
+];
+
+/// One test (not one per example) so concurrent `cargo run` invocations
+/// never contend on the target-directory build lock.
+#[test]
+fn examples_build_and_run() {
+    let cargo = env!("CARGO");
+    for example in EXAMPLES {
+        let output = Command::new(cargo)
+            .args(["run", "--offline", "--example", example])
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example {example}: {e}"));
+        assert!(
+            output.status.success(),
+            "example {example} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status.code(),
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+        assert!(
+            !output.stdout.is_empty(),
+            "example {example} produced no output"
+        );
+    }
+}

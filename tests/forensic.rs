@@ -33,14 +33,9 @@ fn build(secure: SecurePolicy, wal_mode: WalMode) -> (MockClock, Arc<Db>) {
             "person",
             vec![
                 Column::stable("id", DataType::Int),
-                Column::degradable(
-                    "location",
-                    DataType::Str,
-                    gt,
-                    AttributeLcp::fig2_location(),
-                )
-                .unwrap()
-                .with_index(),
+                Column::degradable("location", DataType::Str, gt, AttributeLcp::fig2_location())
+                    .unwrap()
+                    .with_index(),
             ],
         )
         .unwrap(),
@@ -82,7 +77,10 @@ fn classical_engine_leaks_from_heap_and_log() {
         !r.clean(),
         "the classical baseline is supposed to leak — measurement broken?"
     );
-    assert!(r.occurrences >= FRAGMENTS.len(), "expected hits in heap and log");
+    assert!(
+        r.occurrences >= FRAGMENTS.len(),
+        "expected hits in heap and log"
+    );
 }
 
 #[test]
@@ -99,7 +97,10 @@ fn plain_wal_is_the_only_leak_with_secure_heap() {
     let heap_report = scanner.scan([heap_img.1.as_slice()]);
     let wal_report = scanner.scan([wal_img.1.as_slice()]);
     assert!(heap_report.clean(), "secure heap must hold no pre-image");
-    assert!(!wal_report.clean(), "plaintext WAL retains the insert images");
+    assert!(
+        !wal_report.clean(),
+        "plaintext WAL retains the insert images"
+    );
     // Checkpoint truncation closes even that channel.
     db.checkpoint().unwrap();
     let r = forensic_scan(&db, &scanner).unwrap();
@@ -168,5 +169,9 @@ fn vacuum_scrubs_naive_residue() {
     assert!(!before.clean(), "naive heap keeps tails");
     db.vacuum().unwrap();
     let after = forensic_scan(&db, &scanner).unwrap();
-    assert!(after.clean(), "vacuum must scrub residue: {:?}", after.recovered);
+    assert!(
+        after.clean(),
+        "vacuum must scrub residue: {:?}",
+        after.recovered
+    );
 }

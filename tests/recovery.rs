@@ -21,14 +21,9 @@ fn schema() -> TableSchema {
         "person",
         vec![
             Column::stable("id", DataType::Int).with_index(),
-            Column::degradable(
-                "location",
-                DataType::Str,
-                gt,
-                AttributeLcp::fig2_location(),
-            )
-            .unwrap()
-            .with_index(),
+            Column::degradable("location", DataType::Str, gt, AttributeLcp::fig2_location())
+                .unwrap()
+                .with_index(),
         ],
     )
     .unwrap()
@@ -184,8 +179,7 @@ fn recovery_is_idempotent() {
     }
     // Recover once, crash immediately (no new work), recover again.
     {
-        let db =
-            Db::recover_with_schemas(cfg(&path), clock.shared(), vec![schema()]).unwrap();
+        let db = Db::recover_with_schemas(cfg(&path), clock.shared(), vec![schema()]).unwrap();
         assert_eq!(db.catalog().get("person").unwrap().live_count().unwrap(), 2);
         drop(db);
     }

@@ -26,9 +26,7 @@ fn create_table_via_sql_with_named_levels() {
         .unwrap();
     assert!(matches!(out, QueryOutput::TableCreated(n) if n == "t"));
     // Duplicate creation fails.
-    assert!(s
-        .execute("CREATE TABLE t (x INT)")
-        .is_err());
+    assert!(s.execute("CREATE TABLE t (x INT)").is_err());
     // Unknown hierarchy fails.
     assert!(s
         .execute("CREATE TABLE u (x TEXT DEGRADE USING nope LCP 'd0:1h')")
@@ -42,7 +40,8 @@ fn create_table_via_sql_with_named_levels() {
 #[test]
 fn multi_row_insert_and_count() {
     let (_c, mut s) = fresh();
-    s.execute("CREATE TABLE t (id INT INDEXED, name TEXT)").unwrap();
+    s.execute("CREATE TABLE t (id INT INDEXED, name TEXT)")
+        .unwrap();
     let out = s
         .execute("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')")
         .unwrap();
@@ -81,9 +80,15 @@ fn comparison_operator_matrix() {
     assert_eq!(count(&mut s, "SELECT * FROM t WHERE v <= 50"), 6);
     assert_eq!(count(&mut s, "SELECT * FROM t WHERE v > 50"), 4);
     assert_eq!(count(&mut s, "SELECT * FROM t WHERE v >= 50"), 5);
-    assert_eq!(count(&mut s, "SELECT * FROM t WHERE v BETWEEN 20 AND 40"), 3);
     assert_eq!(
-        count(&mut s, "SELECT * FROM t WHERE v >= 20 AND v < 40 AND id > 1"),
+        count(&mut s, "SELECT * FROM t WHERE v BETWEEN 20 AND 40"),
+        3
+    );
+    assert_eq!(
+        count(
+            &mut s,
+            "SELECT * FROM t WHERE v >= 20 AND v < 40 AND id > 1"
+        ),
         2
     );
 }
@@ -93,7 +98,8 @@ fn index_plans_on_stable_ranges() {
     let (_c, mut s) = fresh();
     s.execute("CREATE TABLE t (id INT INDEXED, v INT)").unwrap();
     for i in 0..100 {
-        s.execute(&format!("INSERT INTO t VALUES ({i}, {i})")).unwrap();
+        s.execute(&format!("INSERT INTO t VALUES ({i}, {i})"))
+            .unwrap();
     }
     let r = s
         .execute("SELECT id FROM t WHERE id BETWEEN 10 AND 19")
@@ -126,13 +132,16 @@ fn purposes_are_session_state() {
          LCP 'address:1h -> city:1d -> region:1mo -> country:1mo' INDEXED)",
     )
     .unwrap();
-    s.execute("INSERT INTO t VALUES (1, '4 rue Jussieu')").unwrap();
+    s.execute("INSERT INTO t VALUES (1, '4 rue Jussieu')")
+        .unwrap();
     clock.advance(Duration::hours(2));
     s.db().pump_degradation().unwrap();
 
     // Declare two purposes; the later one is active.
-    s.execute("DECLARE PURPOSE FINE SET ACCURACY LEVEL CITY FOR LOC").unwrap();
-    s.execute("DECLARE PURPOSE COARSE SET ACCURACY LEVEL COUNTRY FOR LOC").unwrap();
+    s.execute("DECLARE PURPOSE FINE SET ACCURACY LEVEL CITY FOR LOC")
+        .unwrap();
+    s.execute("DECLARE PURPOSE COARSE SET ACCURACY LEVEL COUNTRY FOR LOC")
+        .unwrap();
     let r = s.execute("SELECT loc FROM t").unwrap().rows();
     assert_eq!(r.rows[0][0], Value::Str("France".into()));
     // Re-activate the finer one by name.
@@ -141,7 +150,12 @@ fn purposes_are_session_state() {
     assert_eq!(r2.rows[0][0], Value::Str("Paris".into()));
     // Clearing returns to most-accurate semantics: nothing computable.
     s.clear_purpose();
-    assert!(s.execute("SELECT loc FROM t").unwrap().rows().rows.is_empty());
+    assert!(s
+        .execute("SELECT loc FROM t")
+        .unwrap()
+        .rows()
+        .rows
+        .is_empty());
 }
 
 #[test]
@@ -153,11 +167,13 @@ fn range_literal_binding_on_int_columns() {
     )
     .unwrap();
     for (i, p) in [(1, 1500), (2, 2500), (3, 3500)] {
-        s.execute(&format!("INSERT INTO t VALUES ({i}, {p})")).unwrap();
+        s.execute(&format!("INSERT INTO t VALUES ({i}, {p})"))
+            .unwrap();
     }
     clock.advance(Duration::hours(2));
     s.db().pump_degradation().unwrap();
-    s.execute("DECLARE PURPOSE P SET ACCURACY LEVEL RANGE1000 FOR PAY").unwrap();
+    s.execute("DECLARE PURPOSE P SET ACCURACY LEVEL RANGE1000 FOR PAY")
+        .unwrap();
     // The paper's quoted interval literal.
     let r = s
         .execute("SELECT id FROM t WHERE pay = '2000-3000'")
@@ -165,7 +181,10 @@ fn range_literal_binding_on_int_columns() {
         .rows();
     assert_eq!(r.rows, vec![vec![Value::Int(2)]]);
     // And an int literal matches by containment on the degraded range.
-    let r2 = s.execute("SELECT id FROM t WHERE pay = 3700").unwrap().rows();
+    let r2 = s
+        .execute("SELECT id FROM t WHERE pay = 3700")
+        .unwrap()
+        .rows();
     assert_eq!(r2.rows, vec![vec![Value::Int(3)]]);
 }
 
