@@ -1,0 +1,134 @@
+//! Buffer-pool read-path scaling (the PR-2 tentpole claim).
+//!
+//! Concurrent readers over a preloaded, fully-resident working set:
+//!
+//! * `sharded/…` — the real pool: shard lock taken only to pin, closure
+//!   runs under the frame's shared latch, so readers proceed in parallel;
+//! * `global_mutex/…` — the same pool accessed through one external mutex,
+//!   reproducing the seed's whole-pool-lock behavior where every page
+//!   touch (including the closure body) serializes.
+//!
+//! With threads > 1 the sharded numbers should stay roughly flat per
+//! element while the global-mutex baseline degrades; at 1 thread the
+//! sharded path must be no slower (in practice it wins slightly — one
+//! uncontended shard lock + latch beats mutex + whole-pool critical
+//! section). On a single-core host the elem/s columns stay flat for both
+//! variants — the structural claim (readers never serialize on one lock)
+//! is covered by `storage/tests/buffer_concurrency.rs` regardless.
+
+use std::sync::{Arc, Mutex};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use instant_common::PageId;
+use instant_storage::{BufferPool, DiskManager};
+
+const PAGES: usize = 512;
+const FRAMES: usize = 1024; // working set fully resident: pure read path
+const OPS_PER_THREAD: usize = 20_000;
+
+fn preloaded_pool(shards: usize) -> (Arc<BufferPool>, Vec<PageId>) {
+    let disk = Arc::new(DiskManager::temp("bench-bufpool").unwrap());
+    let pool = Arc::new(BufferPool::with_shards(disk, FRAMES, shards));
+    let pages: Vec<PageId> = (0..PAGES)
+        .map(|i| {
+            let id = pool.allocate_page().unwrap();
+            pool.with_page_mut(id, |p| p.payload_mut()[0] = i as u8)
+                .unwrap();
+            id
+        })
+        .collect();
+    (pool, pages)
+}
+
+/// `threads` readers, each issuing `OPS_PER_THREAD` `with_page` calls on
+/// LCG-chosen pages. `serialize` wraps every call in one shared mutex.
+fn run_readers(
+    pool: &Arc<BufferPool>,
+    pages: &[PageId],
+    threads: usize,
+    serialize: Option<&Arc<Mutex<()>>>,
+) -> u64 {
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let pool = pool.clone();
+            let pages = pages.to_vec();
+            let big_lock = serialize.cloned();
+            std::thread::spawn(move || {
+                let mut x = 0x1DB0_CAFEu64 + t as u64;
+                let mut acc = 0u64;
+                for _ in 0..OPS_PER_THREAD {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let id = pages[(x >> 33) as usize % pages.len()];
+                    let _guard = big_lock.as_ref().map(|m| m.lock().unwrap());
+                    acc += pool.with_page(id, |p| p.payload()[0] as u64).unwrap();
+                }
+                acc
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).sum()
+}
+
+fn bench_read_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer_read_scaling");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements((threads * OPS_PER_THREAD) as u64));
+        let (pool, pages) = preloaded_pool(16);
+        group.bench_function(BenchmarkId::new("sharded", threads), |b| {
+            b.iter(|| run_readers(&pool, &pages, threads, None));
+        });
+        let big_lock = Arc::new(Mutex::new(()));
+        group.bench_function(BenchmarkId::new("global_mutex", threads), |b| {
+            b.iter(|| run_readers(&pool, &pages, threads, Some(&big_lock)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mixed_with_eviction(c: &mut Criterion) {
+    // Read/write mix with the pool 2x over-subscribed: eviction and
+    // write-back on the hot path, still multi-threaded.
+    let mut group = c.benchmark_group("buffer_mixed_evicting");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.throughput(Throughput::Elements((threads * OPS_PER_THREAD) as u64));
+        let disk = Arc::new(DiskManager::temp("bench-bufpool-evict").unwrap());
+        let pool = Arc::new(BufferPool::with_shards(disk, PAGES / 2, 16));
+        let pages: Vec<PageId> = (0..PAGES).map(|_| pool.allocate_page().unwrap()).collect();
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            b.iter(|| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let pool = pool.clone();
+                        let pages = pages.clone();
+                        std::thread::spawn(move || {
+                            let mut x = 77u64 + t as u64;
+                            for i in 0..OPS_PER_THREAD {
+                                x = x
+                                    .wrapping_mul(6364136223846793005)
+                                    .wrapping_add(1442695040888963407);
+                                let id = pages[(x >> 33) as usize % pages.len()];
+                                if i % 4 == 0 {
+                                    pool.with_page_mut(id, |p| p.payload_mut()[1] = i as u8)
+                                        .unwrap();
+                                } else {
+                                    pool.with_page(id, |p| p.payload()[1]).unwrap();
+                                }
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_read_scaling, bench_mixed_with_eviction);
+criterion_main!(benches);

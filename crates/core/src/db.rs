@@ -60,6 +60,10 @@ pub enum WalMode {
 pub struct DbConfig {
     /// Buffer pool frames.
     pub buffer_frames: usize,
+    /// Buffer pool shards (rounded up to a power of two; 0 = automatic).
+    /// More shards reduce contention between degradation batches and
+    /// concurrent queries touching different pages.
+    pub pool_shards: usize,
     /// Heap deletion policy (secure overwrite vs classical naive).
     pub secure: SecurePolicy,
     pub wal_mode: WalMode,
@@ -77,6 +81,7 @@ impl Default for DbConfig {
     fn default() -> Self {
         DbConfig {
             buffer_frames: 1024,
+            pool_shards: 0,
             secure: SecurePolicy::Overwrite,
             wal_mode: WalMode::Sealed,
             key_window: Duration::hours(1),
@@ -136,7 +141,11 @@ impl Db {
             Some(p) => Arc::new(DiskManager::open(with_ext(p, "idb"))?),
             None => Arc::new(DiskManager::temp("db")?),
         };
-        let pool = Arc::new(BufferPool::new(disk, cfg.buffer_frames));
+        let pool = Arc::new(if cfg.pool_shards == 0 {
+            BufferPool::new(disk, cfg.buffer_frames)
+        } else {
+            BufferPool::with_shards(disk, cfg.buffer_frames, cfg.pool_shards)
+        });
         let wal = match cfg.wal_mode {
             WalMode::Off => None,
             _ => Some(match &cfg.path {

@@ -15,6 +15,9 @@
 //!   pending transitions, pumped by [`db::Db::pump_degradation`], each batch
 //!   running as a system transaction (2PL, WAL-logged, secure rewrite).
 //!   Lateness statistics feed experiment E7.
+//! * [`daemon`] — a background thread that fires those batches on a tick,
+//!   concurrently with foreground queries (the sharded buffer pool keeps
+//!   page access parallel).
 //! * [`query`] — the SQL front end: `DECLARE PURPOSE … SET ACCURACY LEVEL`,
 //!   `SELECT`/`INSERT`/`DELETE` with the paper's `σ_P,k` / `π_*,k`
 //!   semantics (only subsets whose state can compute level `k` participate;
@@ -31,6 +34,7 @@
 
 pub mod baseline;
 pub mod catalog;
+pub mod daemon;
 pub mod db;
 pub mod ext;
 pub mod metrics;
@@ -39,6 +43,7 @@ pub mod scheduler;
 pub mod schema;
 pub mod tuple;
 
+pub use daemon::DegradationDaemon;
 pub use db::{Db, DbConfig, WalMode};
 pub use query::session::Session;
 pub use schema::{Column, ColumnKind, TableSchema};

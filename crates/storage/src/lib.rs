@@ -16,9 +16,9 @@
 //!    so every degradation step rewrites in place and tuple ids stay stable.
 //!
 //! Layering: [`disk::DiskManager`] (page file I/O, checksums) →
-//! [`buffer::BufferPool`] (fixed-frame LRU cache, write-back) →
-//! [`heap::HeapFile`] (slotted-page record store with a free-space map and
-//! vacuum).
+//! [`buffer::BufferPool`] (sharded fixed-capacity LRU cache with per-frame
+//! latches and pin-gated eviction, write-back) → [`heap::HeapFile`]
+//! (slotted-page record store with a free-space map and vacuum).
 
 pub mod buffer;
 pub mod disk;

@@ -69,6 +69,7 @@ pub mod prelude {
         Timestamp, TupleId, Value,
     };
     pub use instant_core::baseline::{protected_location_schema, Protection, FOREVER};
+    pub use instant_core::daemon::DegradationDaemon;
     pub use instant_core::db::{Db, DbConfig, PumpReport, WalMode};
     pub use instant_core::metrics::{exposure_of_db, exposure_of_table, total_exposure};
     pub use instant_core::query::exec::{QueryOutput, QueryResult};

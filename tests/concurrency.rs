@@ -208,6 +208,94 @@ fn inserts_and_queries_interleave_with_degradation() {
 }
 
 #[test]
+fn background_daemon_degrades_while_foreground_inserts_and_reads() {
+    // The tentpole scenario: degradation batches run as background system
+    // transactions *concurrently* with foreground inserts and queries —
+    // no global buffer-pool lock serializes them.
+    let (clock, db) = setup();
+    for i in 0..100 {
+        db.insert(
+            "person",
+            &[Value::Int(i), Value::Str("Drienerlolaan 5".into())],
+        )
+        .unwrap();
+    }
+    let daemon = DegradationDaemon::spawn(db.clone(), std::time::Duration::from_millis(1));
+
+    // Make the first batch due while foreground work keeps running.
+    clock.advance(Duration::hours(2));
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let db = db.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let table = db.catalog().get("person").unwrap();
+            let mut reads = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                for (tid, _) in table.scan().unwrap() {
+                    if let Ok(t) = db.read_tuple(&table, tid) {
+                        match &t.row[1] {
+                            Value::Str(s) => assert!(
+                                s == "Drienerlolaan 5" || s == "Enschede",
+                                "torn value: {s}"
+                            ),
+                            other => panic!("unexpected {other:?}"),
+                        }
+                        reads += 1;
+                    }
+                }
+            }
+            reads
+        })
+    };
+    for i in 100..200 {
+        db.insert(
+            "person",
+            &[Value::Int(i), Value::Str("Drienerlolaan 5".into())],
+        )
+        .unwrap();
+    }
+    // The daemon must drain the 100 due transitions on its own.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while db.scheduler().fired() < 100 && std::time::Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let reads = reader.join().unwrap();
+    let report = daemon.stop().unwrap();
+    assert!(
+        report.fired >= 100,
+        "daemon fired the due batch: {report:?}"
+    );
+    assert!(
+        reads > 0,
+        "foreground reads progressed alongside the daemon"
+    );
+    let table = db.catalog().get("person").unwrap();
+    for (_, t) in table.scan().unwrap() {
+        match &t.row[1] {
+            Value::Str(s) => assert!(s == "Drienerlolaan 5" || s == "Enschede"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(table.live_count().unwrap(), 200);
+}
+
+#[test]
+fn sharded_pool_config_reaches_the_engine() {
+    let clock = MockClock::new();
+    let db = Db::open(
+        DbConfig {
+            pool_shards: 4,
+            ..DbConfig::default()
+        },
+        clock.shared(),
+    )
+    .unwrap();
+    assert_eq!(db.buffer_pool().shard_count(), 4);
+}
+
+#[test]
 fn system_and_user_transaction_counters() {
     let (clock, db) = setup();
     for i in 0..10 {
