@@ -1,0 +1,101 @@
+//! Commit-throughput: group commit vs per-commit fsync (the PR-3
+//! tentpole claim).
+//!
+//! `threads` committers each run a stream of auto-commit inserts:
+//!
+//! * `per_commit_fsync/…` — `group_commit: None`; every commit pays its
+//!   own append + fsync under the inline path, so committers serialize on
+//!   the durability point;
+//! * `group_commit/…` — the pipeline; concurrent committers pile up
+//!   behind the writer thread's current fsync and share the next one.
+//!
+//! At 1 thread the pipeline must not lose (one thread handoff against one
+//! fsync — the fsync dominates). From 4 threads up it should win, and the
+//! fsyncs-per-commit ratio (printed by the stress tests, not here) drops
+//! with concurrency. On a single-core CI host the absolute numbers
+//! flatten; the structural claim is covered by
+//! `tests/group_commit.rs` regardless.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use instant_common::{DataType, MockClock, Value};
+use instant_core::schema::{Column, TableSchema};
+use instant_core::{Db, DbConfig, GroupCommitConfig};
+
+const PER_THREAD: i64 = 200;
+
+fn open_db(group: Option<GroupCommitConfig>) -> Arc<Db> {
+    let clock = MockClock::new();
+    let db = Arc::new(
+        Db::open(
+            DbConfig {
+                group_commit: group,
+                ..DbConfig::default()
+            },
+            clock.shared(),
+        )
+        .unwrap(),
+    );
+    db.create_table(
+        TableSchema::new(
+            "events",
+            vec![
+                Column::stable("id", DataType::Int),
+                Column::stable("note", DataType::Str),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db
+}
+
+fn run_committers(db: &Arc<Db>, threads: i64) {
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let db = db.clone();
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    db.insert(
+                        "events",
+                        &[Value::Int(t * PER_THREAD + i), Value::Str("payload".into())],
+                    )
+                    .unwrap();
+                }
+            });
+        }
+    });
+}
+
+fn bench_commit_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("commit_throughput");
+    g.sample_size(10);
+    for &threads in &[1i64, 2, 4, 8] {
+        g.throughput(Throughput::Elements((threads * PER_THREAD) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("per_commit_fsync", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    let db = open_db(None);
+                    run_committers(&db, t);
+                });
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("group_commit", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    let db = open_db(Some(GroupCommitConfig::default()));
+                    run_committers(&db, t);
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_commit_throughput);
+criterion_main!(benches);

@@ -23,19 +23,20 @@
 //!   remapping), and re-arm the scheduler from stored stage bytes — a tuple
 //!   can therefore never *regain* accuracy through a crash.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use instant_common::{
     ColumnId, Duration, Error, Result, SharedClock, TableId, Timestamp, TupleId, Value,
 };
 use instant_storage::{BufferPool, DiskManager, SecurePolicy};
 use instant_tx::{LockMode, Resource, TxHandle, TxManager};
-use instant_wal::record::{LogRecord, Payload};
+use instant_wal::group::{GroupCommit, GroupCommitConfig, GroupCommitStats};
+use instant_wal::record::{LogRecord, Lsn, Payload};
 use instant_wal::recovery::{self, Op};
 use instant_wal::{KeyStore, Wal};
 
@@ -71,6 +72,15 @@ pub struct DbConfig {
     pub key_window: Duration,
     /// Max transitions per degradation batch (0 = unbounded).
     pub batch_max: usize,
+    /// Group-commit pipeline: `Some` routes every commit through a
+    /// dedicated log-writer thread that batches concurrent committers
+    /// behind one fsync per drain; `None` makes each commit pay its own
+    /// append + fsync inline (the classical baseline).
+    pub group_commit: Option<GroupCommitConfig>,
+    /// Background checkpoint interval for
+    /// [`Checkpointer::spawn_from_config`](crate::daemon::Checkpointer);
+    /// `None` leaves checkpointing caller-driven.
+    pub checkpoint_every: Option<std::time::Duration>,
     /// Data directory prefix; `None` = ephemeral temp files.
     pub path: Option<PathBuf>,
     /// Key-derivation seed.
@@ -86,6 +96,8 @@ impl Default for DbConfig {
             wal_mode: WalMode::Sealed,
             key_window: Duration::hours(1),
             batch_max: 1024,
+            group_commit: Some(GroupCommitConfig::default()),
+            checkpoint_every: None,
             path: None,
             key_seed: 0x1DB0_CAFE,
         }
@@ -96,6 +108,7 @@ impl Default for DbConfig {
 #[derive(Debug, Default)]
 pub struct DbStats {
     pub inserts: AtomicU64,
+    pub updates: AtomicU64,
     pub degrade_steps: AtomicU64,
     pub expunges: AtomicU64,
     pub user_deletes: AtomicU64,
@@ -120,12 +133,27 @@ pub struct Db {
     clock: SharedClock,
     pool: Arc<BufferPool>,
     catalog: Catalog,
-    wal: Option<Wal>,
+    // `group` is declared before `wal` so the pipeline's writer thread is
+    // joined (and its last fsync completed) before the log handle drops.
+    group: Option<GroupCommit>,
+    wal: Option<Arc<Wal>>,
     keys: KeyStore,
     txs: TxManager,
     sched: DegradationScheduler,
     stats: DbStats,
-    meta_lock: Mutex<()>,
+    /// Commit/checkpoint ordering gate. User ops hold the shared side
+    /// across their page mutation *and* record enqueue; a checkpoint's
+    /// flush→Checkpoint-record window holds the exclusive side. Together
+    /// these give two invariants (see [`Db::checkpoint`]): truncation
+    /// never destroys an unflushed acknowledged commit, and a flush never
+    /// persists a user-op page mutation whose records are not enqueued.
+    ckpt_gate: RwLock<()>,
+    /// Serializes whole checkpoints against each other; commits never
+    /// touch it. Truncation runs outside the `ckpt_gate` exclusive
+    /// section so mutations and enqueues proceed during the rewrite —
+    /// though drain *acknowledgments* still serialize against it on the
+    /// Wal's own lock (see [`Db::checkpoint`]).
+    ckpt_serial: Mutex<()>,
 }
 
 impl std::fmt::Debug for Db {
@@ -148,10 +176,14 @@ impl Db {
         });
         let wal = match cfg.wal_mode {
             WalMode::Off => None,
-            _ => Some(match &cfg.path {
+            _ => Some(Arc::new(match &cfg.path {
                 Some(p) => Wal::open(with_ext(p, "wal"))?,
                 None => Wal::temp("db")?,
-            }),
+            })),
+        };
+        let group = match (&wal, &cfg.group_commit) {
+            (Some(w), Some(gc)) => Some(GroupCommit::spawn(w.clone(), gc.clone())),
+            _ => None,
         };
         let keys = KeyStore::new(cfg.key_window, cfg.key_seed);
         if let Some(p) = &cfg.path {
@@ -166,12 +198,14 @@ impl Db {
             clock,
             pool,
             catalog: Catalog::new(),
+            group,
             wal,
             keys,
             txs: TxManager::new(),
             sched: DegradationScheduler::new(),
             stats: DbStats::default(),
-            meta_lock: Mutex::new(()),
+            ckpt_gate: RwLock::new(()),
+            ckpt_serial: Mutex::new(()),
         })
     }
 
@@ -197,7 +231,11 @@ impl Db {
         &self.txs
     }
     pub fn wal(&self) -> Option<&Wal> {
-        self.wal.as_ref()
+        self.wal.as_deref()
+    }
+    /// Group-commit pipeline counters; `None` when the pipeline is off.
+    pub fn group_commit_stats(&self) -> Option<GroupCommitStats> {
+        self.group.as_ref().map(|g| g.stats())
     }
     pub fn keystore(&self) -> &KeyStore {
         &self.keys
@@ -212,18 +250,49 @@ impl Db {
             .create_table(schema, self.pool.clone(), self.cfg.secure)
     }
 
-    fn log(&self, rec: &LogRecord) -> Result<()> {
-        if let Some(wal) = &self.wal {
-            wal.append(rec)?;
-        }
-        Ok(())
+    /// Durably commit a batch of log records: through the group-commit
+    /// pipeline when enabled, else append + fsync inline. Returns the LSN
+    /// of the batch's first record (`None` when logging is off).
+    ///
+    /// Acquires the shared side of `ckpt_gate` itself — callers whose
+    /// page mutations must be covered by the same gate hold (the user
+    /// ops) use [`Db::enqueue_records`] under their own guard instead.
+    fn commit_records(&self, records: Vec<LogRecord>) -> Result<Option<Lsn>> {
+        let pending = {
+            let _shared = self.ckpt_gate.read();
+            self.enqueue_records(records)?
+        };
+        pending.finish()
     }
 
-    fn log_sync(&self) -> Result<()> {
-        if let Some(wal) = &self.wal {
-            wal.sync()?;
+    /// Hand a record batch to the durability path. The caller must hold
+    /// `ckpt_gate` (shared side). With the pipeline on this only
+    /// *enqueues* — the fsync is awaited via [`PendingCommit::finish`]
+    /// outside the gate, keeping committers parallel. Inline, it appends
+    /// and fsyncs right here: releasing the gate between those two steps
+    /// would let a checkpoint truncate the still-unsynced records and
+    /// then acknowledge them anyway.
+    fn enqueue_records(&self, records: Vec<LogRecord>) -> Result<PendingCommit> {
+        if self.wal.is_none() || records.is_empty() {
+            return Ok(PendingCommit::Off);
         }
-        Ok(())
+        match &self.group {
+            Some(g) => Ok(PendingCommit::Ticket(g.submit(records)?)),
+            None => Ok(match self.append_sync(&records)? {
+                Some(lsn) => PendingCommit::Done(lsn),
+                None => PendingCommit::Off,
+            }),
+        }
+    }
+
+    /// Inline append + fsync. Caller must hold `ckpt_gate` (either side).
+    fn append_sync(&self, records: &[LogRecord]) -> Result<Option<Lsn>> {
+        let Some(wal) = &self.wal else {
+            return Ok(None);
+        };
+        let first = wal.append_batch(records)?;
+        wal.sync()?;
+        Ok(Some(first))
     }
 
     fn payload(&self, bytes: &[u8], now: Timestamp) -> Result<Payload> {
@@ -242,29 +311,40 @@ impl Db {
         let now = self.now();
         let tx = self.txs.begin();
         tx.lock(Resource::Table(table.id()), LockMode::IntentionExclusive)?;
-        let tid = table.insert_physical(now, row)?;
-        tx.lock(Resource::Tuple(table.id(), tid), LockMode::Exclusive)?;
-        // WAL: the logged image is the *stored* tuple (already generalized
-        // to the first stage level), so a coarse-ingest table never logs
-        // the accurate form at all.
-        let stored = table.get(tid)?;
-        let bytes = encode_stored_raw(stored.insert_ts, &stored.stages, &stored.row);
-        self.log(&LogRecord::Begin {
-            tx: tx.id(),
-            at: now,
-        })?;
-        self.log(&LogRecord::Insert {
-            tx: tx.id(),
-            table: table.id(),
-            tid,
-            row: self.payload(&bytes, now)?,
-            at: now,
-        })?;
-        self.log(&LogRecord::Commit {
-            tx: tx.id(),
-            at: now,
-        })?;
-        self.log_sync()?;
+        // Gate held across mutation *and* enqueue: a checkpoint's
+        // flush_all can then never persist this page write before its
+        // log records exist in the pipeline (steal of an unlogged
+        // mutation). The only lock taken inside the gate is on the
+        // freshly allocated tuple id, which nothing else can contend.
+        let (tid, stored, pending) = {
+            let _shared = self.ckpt_gate.read();
+            let tid = table.insert_physical(now, row)?;
+            tx.lock(Resource::Tuple(table.id(), tid), LockMode::Exclusive)?;
+            // WAL: the logged image is the *stored* tuple (already
+            // generalized to the first stage level), so a coarse-ingest
+            // table never logs the accurate form at all.
+            let stored = table.get(tid)?;
+            let bytes = encode_stored_raw(stored.insert_ts, &stored.stages, &stored.row);
+            let pending = self.enqueue_records(vec![
+                LogRecord::Begin {
+                    tx: tx.id(),
+                    at: now,
+                },
+                LogRecord::Insert {
+                    tx: tx.id(),
+                    table: table.id(),
+                    tid,
+                    row: self.payload(&bytes, now)?,
+                    at: now,
+                },
+                LogRecord::Commit {
+                    tx: tx.id(),
+                    at: now,
+                },
+            ])?;
+            (tid, stored, pending)
+        };
+        pending.finish()?;
         tx.commit()?;
         self.arm_transitions(&table, tid, &stored);
         self.stats.inserts.fetch_add(1, Ordering::Relaxed);
@@ -302,22 +382,29 @@ impl Db {
         if !table.exists(tid) {
             return Err(Error::NotFound(format!("tuple {tid}")));
         }
-        table.expunge_physical(tid)?;
-        self.log(&LogRecord::Begin {
-            tx: tx.id(),
-            at: now,
-        })?;
-        self.log(&LogRecord::Delete {
-            tx: tx.id(),
-            table: table.id(),
-            tid,
-            at: now,
-        })?;
-        self.log(&LogRecord::Commit {
-            tx: tx.id(),
-            at: now,
-        })?;
-        self.log_sync()?;
+        // Locks are all held already; the gate covers mutation + enqueue
+        // so a checkpoint flush can never persist an unlogged expunge.
+        let pending = {
+            let _shared = self.ckpt_gate.read();
+            table.expunge_physical(tid)?;
+            self.enqueue_records(vec![
+                LogRecord::Begin {
+                    tx: tx.id(),
+                    at: now,
+                },
+                LogRecord::Delete {
+                    tx: tx.id(),
+                    table: table.id(),
+                    tid,
+                    at: now,
+                },
+                LogRecord::Commit {
+                    tx: tx.id(),
+                    at: now,
+                },
+            ])?
+        };
+        pending.finish()?;
         tx.commit()?;
         self.stats.user_deletes.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -349,28 +436,36 @@ impl Db {
         let tx = self.txs.begin();
         tx.lock(Resource::Table(table.id()), LockMode::IntentionExclusive)?;
         tx.lock(Resource::Tuple(table.id(), tid), LockMode::Exclusive)?;
-        let mut tuple = table.get(tid)?;
-        let old_value = tuple.row[cid.0 as usize].clone();
-        tuple.row[cid.0 as usize] = new_value.clone();
-        table.rewrite_physical(tid, &tuple, &[], &[(cid, old_value, new_value)])?;
-        let bytes = encode_stored_raw(tuple.insert_ts, &tuple.stages, &tuple.row);
-        self.log(&LogRecord::Begin {
-            tx: tx.id(),
-            at: now,
-        })?;
-        self.log(&LogRecord::Update {
-            tx: tx.id(),
-            table: table.id(),
-            tid,
-            row: self.payload(&bytes, now)?,
-            at: now,
-        })?;
-        self.log(&LogRecord::Commit {
-            tx: tx.id(),
-            at: now,
-        })?;
-        self.log_sync()?;
+        // Locks are all held already; the gate covers mutation + enqueue
+        // so a checkpoint flush can never persist an unlogged rewrite.
+        let pending = {
+            let _shared = self.ckpt_gate.read();
+            let mut tuple = table.get(tid)?;
+            let old_value = tuple.row[cid.0 as usize].clone();
+            tuple.row[cid.0 as usize] = new_value.clone();
+            table.rewrite_physical(tid, &tuple, &[], &[(cid, old_value, new_value)])?;
+            let bytes = encode_stored_raw(tuple.insert_ts, &tuple.stages, &tuple.row);
+            self.enqueue_records(vec![
+                LogRecord::Begin {
+                    tx: tx.id(),
+                    at: now,
+                },
+                LogRecord::Update {
+                    tx: tx.id(),
+                    table: table.id(),
+                    tid,
+                    row: self.payload(&bytes, now)?,
+                    at: now,
+                },
+                LogRecord::Commit {
+                    tx: tx.id(),
+                    at: now,
+                },
+            ])?
+        };
+        pending.finish()?;
         tx.commit()?;
+        self.stats.updates.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -401,6 +496,15 @@ impl Db {
 
     /// Execute at most one batch of due transitions as a single system
     /// transaction.
+    ///
+    /// Unlike the user ops, the batch's page rewrites are *not* held
+    /// under the checkpoint gate (the degrader takes tuple locks per
+    /// transition and must never block while gating out a checkpoint).
+    /// A checkpoint flush may therefore persist a degradation rewrite
+    /// before its record is enqueued — which is safe *only* because
+    /// degradation is monotone: recovering a further-degraded or
+    /// expunged state than the log claims can never resurrect accuracy,
+    /// and `rearm_all` re-arms from the stored stage bytes.
     pub fn pump_one_batch(&self) -> Result<PumpReport> {
         let now = self.now();
         let batch = self.sched.due_batch(now, self.cfg.batch_max);
@@ -409,9 +513,11 @@ impl Db {
         }
         let mut report = PumpReport::default();
         let tx = self.txs.begin_system();
-        let mut logged_begin = false;
+        // The batch's log records accumulate here and commit as one unit
+        // through the pipeline (one ticket, one shared fsync).
+        let mut recs: Vec<LogRecord> = Vec::new();
         for pt in batch {
-            match self.apply_transition(&tx, &pt, now, &mut logged_begin) {
+            match self.apply_transition(&tx, &pt, now, &mut recs) {
                 Ok(Applied::Stepped) => {
                     report.fired += 1;
                     self.sched.record_fired(pt.due, now);
@@ -436,12 +542,12 @@ impl Db {
                 Err(e) => return Err(e),
             }
         }
-        if logged_begin {
-            self.log(&LogRecord::Commit {
+        if !recs.is_empty() {
+            recs.push(LogRecord::Commit {
                 tx: tx.id(),
                 at: now,
-            })?;
-            self.log_sync()?;
+            });
+            self.commit_records(recs)?;
         }
         tx.commit()?;
         Ok(report)
@@ -452,7 +558,7 @@ impl Db {
         tx: &TxHandle,
         pt: &PendingTransition,
         now: Timestamp,
-        logged_begin: &mut bool,
+        recs: &mut Vec<LogRecord>,
     ) -> Result<Applied> {
         let table = self.catalog.get_by_id(pt.table)?;
         tx.lock(Resource::Table(table.id()), LockMode::IntentionExclusive)?;
@@ -472,15 +578,12 @@ impl Db {
         let stages = d.lcp().stages();
         let old_level = stages[pt.from_stage as usize].level;
         let old_value = tuple.row[cid.0 as usize].clone();
-        let mut ensure_begin = |db: &Db| -> Result<()> {
-            if !*logged_begin {
-                db.log(&LogRecord::Begin {
-                    tx: tx.id(),
-                    at: now,
-                })?;
-                *logged_begin = true;
+        let tx_id = tx.id();
+        let push_logged = |recs: &mut Vec<LogRecord>, rec: LogRecord| {
+            if recs.is_empty() {
+                recs.push(LogRecord::Begin { tx: tx_id, at: now });
             }
-            Ok(())
+            recs.push(rec);
         };
         if let Some(next) = stages.get(pt.from_stage as usize + 1) {
             // Degrade one step.
@@ -493,17 +596,19 @@ impl Db {
                 &[(cid, old_level, old_value, Some((next.level, new_value)))],
                 &[],
             )?;
-            ensure_begin(self)?;
             let bytes = encode_stored_raw(tuple.insert_ts, &tuple.stages, &tuple.row);
-            self.log(&LogRecord::Degrade {
-                tx: tx.id(),
-                table: table.id(),
-                tid: pt.tid,
-                column: cid,
-                to_level: Some(next.level),
-                row: self.payload(&bytes, now)?,
-                at: now,
-            })?;
+            push_logged(
+                recs,
+                LogRecord::Degrade {
+                    tx: tx.id(),
+                    table: table.id(),
+                    tid: pt.tid,
+                    column: cid,
+                    to_level: Some(next.level),
+                    row: self.payload(&bytes, now)?,
+                    at: now,
+                },
+            );
             // Arm the next transition of this attribute.
             if let Some(due) = d.due_time(tuple.insert_ts, pt.from_stage as usize + 1) {
                 self.sched.schedule(PendingTransition {
@@ -522,13 +627,15 @@ impl Db {
             if tuple.fully_degraded() {
                 // Whole tuple leaves the database (stable attributes too).
                 table.expunge_physical(pt.tid)?;
-                ensure_begin(self)?;
-                self.log(&LogRecord::Expunge {
-                    tx: tx.id(),
-                    table: table.id(),
-                    tid: pt.tid,
-                    at: now,
-                })?;
+                push_logged(
+                    recs,
+                    LogRecord::Expunge {
+                        tx: tx.id(),
+                        table: table.id(),
+                        tid: pt.tid,
+                        at: now,
+                    },
+                );
                 Ok(Applied::Expunged)
             } else {
                 table.rewrite_physical(
@@ -537,17 +644,19 @@ impl Db {
                     &[(cid, old_level, old_value, None)],
                     &[],
                 )?;
-                ensure_begin(self)?;
                 let bytes = encode_stored_raw(tuple.insert_ts, &tuple.stages, &tuple.row);
-                self.log(&LogRecord::Degrade {
-                    tx: tx.id(),
-                    table: table.id(),
-                    tid: pt.tid,
-                    column: cid,
-                    to_level: None,
-                    row: self.payload(&bytes, now)?,
-                    at: now,
-                })?;
+                push_logged(
+                    recs,
+                    LogRecord::Degrade {
+                        tx: tx.id(),
+                        table: table.id(),
+                        tid: pt.tid,
+                        column: cid,
+                        to_level: None,
+                        row: self.payload(&bytes, now)?,
+                        at: now,
+                    },
+                );
                 Ok(Applied::Stepped)
             }
         }
@@ -555,24 +664,53 @@ impl Db {
 
     /// Checkpoint: flush → log Checkpoint → persist meta → truncate log →
     /// shred key windows before the checkpoint.
+    ///
+    /// Holds the exclusive side of `ckpt_gate` so no commit can enqueue
+    /// between `flush_all` and the `Checkpoint` record: every record the
+    /// truncation below destroys is therefore covered by the flush, and
+    /// every record it retains replays from the checkpoint. (Without the
+    /// gate, a commit acknowledged between flush and the checkpoint
+    /// record would be physically truncated while its pages were still
+    /// memory-only — lost on the next crash.) Conversely, because user
+    /// ops mutate pages only while holding the shared side, this flush
+    /// can never persist a half-done unlogged user operation.
     pub fn checkpoint(&self) -> Result<()> {
-        let _guard = self.meta_lock.lock();
-        let now = self.now();
-        self.pool.flush_all()?;
-        let ckpt_lsn = if let Some(wal) = &self.wal {
-            let lsn = wal.append(&LogRecord::Checkpoint { at: now })?;
-            wal.sync()?;
-            Some(lsn)
-        } else {
-            None
+        let _serial = self.ckpt_serial.lock();
+        let ckpt_lsn = {
+            let _excl = self.ckpt_gate.write();
+            let now = self.now();
+            self.pool.flush_all()?;
+            // The Checkpoint record rides the pipeline like any commit,
+            // so it can never land in the middle of another committer's
+            // unsynced batch. We hold the gate's exclusive side, so go to
+            // the pipeline (or the inline appender) directly rather than
+            // re-entering `commit_records`' shared side.
+            let ckpt_lsn = match &self.group {
+                Some(g) => Some(g.commit(vec![LogRecord::Checkpoint { at: now }])?),
+                None => self.append_sync(&[LogRecord::Checkpoint { at: now }])?,
+            };
+            // Shred + persist catalog meta (heap page lists + shredded
+            // windows) still inside the gate: the page lists must match
+            // the flush exactly — a page allocated by a commit racing in
+            // here would be listed with unflushed content.
+            let shredded = self.keys.shred_before(now);
+            let _ = shredded;
+            if let Some(p) = &self.cfg.path {
+                let meta = self.render_meta();
+                std::fs::write(with_ext(p, "meta"), meta)?;
+            }
+            ckpt_lsn
         };
-        // Persist catalog meta (heap page lists + shredded windows).
-        let shredded = self.keys.shred_before(now);
-        let _ = shredded;
-        if let Some(p) = &self.cfg.path {
-            let meta = self.render_meta();
-            std::fs::write(with_ext(p, "meta"), meta)?;
-        }
+        // Truncation rewrites the whole retained log — by far the longest
+        // step — so it runs after the gate reopens: commits landing now
+        // get LSNs above `ckpt_lsn` and are retained. Page mutations and
+        // pipeline enqueues proceed during the rewrite; appends and
+        // fsyncs (and therefore commit acknowledgments) still serialize
+        // against it on the Wal's internal lock, so queued drains deepen
+        // and complete together once the rewrite finishes. A snapshot-cut
+        // copy outside the Wal lock would shrink that ack stall too —
+        // ROADMAP follow-up. `ckpt_serial` keeps a second checkpoint from
+        // interleaving.
         if let (Some(wal), Some(lsn)) = (&self.wal, ckpt_lsn) {
             wal.truncate_before(lsn)?;
         }
@@ -646,8 +784,9 @@ impl Db {
         if let Some(wal) = &db.wal {
             let plan = recovery::recover(wal, &db.keys)?;
             let mut remap: HashMap<(TableId, TupleId), TupleId> = HashMap::new();
+            let mut replay_written: HashSet<(TableId, TupleId)> = HashSet::new();
             for op in &plan.ops {
-                db.apply_recovery_op(op, &mut remap)?;
+                db.apply_recovery_op(op, &mut remap, &mut replay_written)?;
             }
         }
         // 3. Re-arm the scheduler from stored stage bytes.
@@ -659,6 +798,7 @@ impl Db {
         &self,
         op: &Op,
         remap: &mut HashMap<(TableId, TupleId), TupleId>,
+        replay_written: &mut HashSet<(TableId, TupleId)>,
     ) -> Result<()> {
         let table = self.catalog.get_by_id(op.table())?;
         let mapped = |remap: &HashMap<(TableId, TupleId), TupleId>, tid: TupleId| {
@@ -666,16 +806,28 @@ impl Db {
         };
         match op {
             Op::Insert { tid, row, at, .. } => {
-                // Idempotence: if the logged tid already holds a tuple with
-                // the same insert timestamp, the page flush beat the crash.
-                if table.exists(*tid) {
+                // Idempotence: if the logged tid already holds this exact
+                // stored image *from the pre-crash heap*, the page
+                // write-back beat the crash. Two guards keep distinct
+                // commits from collapsing: the comparison covers the whole
+                // stored image (with concurrent committers the log order
+                // differs from tid-allocation order, so an earlier
+                // replayed insert may occupy this tid with a different
+                // tuple sharing the timestamp), and a tuple this replay
+                // itself wrote is never treated as the flushed copy —
+                // otherwise two acknowledged inserts of identical rows at
+                // identical timestamps would merge into one.
+                if table.exists(*tid) && !replay_written.contains(&(table.id(), *tid)) {
                     if let Ok(existing) = table.get(*tid) {
-                        if existing.insert_ts == *at {
+                        let existing_bytes =
+                            encode_stored_raw(existing.insert_ts, &existing.stages, &existing.row);
+                        if existing.insert_ts == *at && existing_bytes == *row {
                             return Ok(());
                         }
                     }
                 }
                 let new_tid = table.insert_raw_stored(row)?;
+                replay_written.insert((table.id(), new_tid));
                 if new_tid != *tid {
                     remap.insert((table.id(), *tid), new_tid);
                 }
@@ -685,10 +837,12 @@ impl Db {
                 let new = crate::tuple::decode_stored(row)?;
                 if table.exists(target) {
                     table.replace_stored(target, &new)?;
+                    replay_written.insert((table.id(), target));
                 } else {
                     // Insert was lost/unrecoverable; the degraded image
                     // itself recreates the tuple at its coarser state.
                     let new_tid = table.insert_raw_stored(row)?;
+                    replay_written.insert((table.id(), new_tid));
                     remap.insert((table.id(), *tid), new_tid);
                 }
             }
@@ -747,6 +901,28 @@ enum Applied {
     Stepped,
     Expunged,
     Skipped,
+}
+
+/// A commit handed to the durability path under the checkpoint gate but
+/// not yet awaited — [`PendingCommit::finish`] completes it outside the
+/// gate so committers stay parallel.
+enum PendingCommit {
+    /// Logging off / nothing to write.
+    Off,
+    /// Inline path: already appended and fsynced at this LSN.
+    Done(Lsn),
+    /// Pipeline path: awaiting the drain's fsync.
+    Ticket(instant_wal::group::CommitTicket),
+}
+
+impl PendingCommit {
+    fn finish(self) -> Result<Option<Lsn>> {
+        match self {
+            PendingCommit::Off => Ok(None),
+            PendingCommit::Done(lsn) => Ok(Some(lsn)),
+            PendingCommit::Ticket(t) => t.wait().map(Some),
+        }
+    }
 }
 
 fn with_ext(p: &std::path::Path, ext: &str) -> PathBuf {

@@ -15,9 +15,12 @@
 //!   pending transitions, pumped by [`db::Db::pump_degradation`], each batch
 //!   running as a system transaction (2PL, WAL-logged, secure rewrite).
 //!   Lateness statistics feed experiment E7.
-//! * [`daemon`] — a background thread that fires those batches on a tick,
-//!   concurrently with foreground queries (the sharded buffer pool keeps
-//!   page access parallel).
+//! * [`daemon`] — background threads on shared scaffolding: the
+//!   degradation pump fires due batches on a tick, and the
+//!   [`Checkpointer`] periodically flushes, truncates the dead log prefix
+//!   and shreds old key windows — both concurrent with foreground queries
+//!   (the sharded buffer pool keeps page access parallel, the group-commit
+//!   pipeline keeps the log append path ordered).
 //! * [`query`] — the SQL front end: `DECLARE PURPOSE … SET ACCURACY LEVEL`,
 //!   `SELECT`/`INSERT`/`DELETE` with the paper's `σ_P,k` / `π_*,k`
 //!   semantics (only subsets whose state can compute level `k` participate;
@@ -43,7 +46,8 @@ pub mod scheduler;
 pub mod schema;
 pub mod tuple;
 
-pub use daemon::DegradationDaemon;
+pub use daemon::{CheckpointReport, Checkpointer, DegradationDaemon};
 pub use db::{Db, DbConfig, WalMode};
+pub use instant_wal::{GroupCommitConfig, GroupCommitStats};
 pub use query::session::Session;
 pub use schema::{Column, ColumnKind, TableSchema};

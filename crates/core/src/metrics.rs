@@ -10,6 +10,10 @@
 //! steals the store at time `t` obtains exactly this much information, so
 //! exposure-over-time curves (experiment E4) compare protection schemes
 //! directly.
+//!
+//! The module also surfaces the durability-pipeline counters
+//! ([`wal_stats`]): WAL appends and fsyncs, group-commit batching,
+//! checkpoints and physically truncated log bytes.
 
 use instant_common::{Result, Value};
 
@@ -115,6 +119,56 @@ pub fn exposure_of_db(db: &Db) -> Result<Vec<ExposureReport>> {
 /// Total exposure scalar for a database (Σ over tables).
 pub fn total_exposure(db: &Db) -> Result<f64> {
     Ok(exposure_of_db(db)?.iter().map(|r| r.total_exposure).sum())
+}
+
+/// Durability-pipeline counters: WAL appends/fsyncs, group-commit
+/// batching, checkpoints and physical truncation, in one snapshot.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended to the log since open (any path).
+    pub appended: u64,
+    /// fsync calls issued on the log since open.
+    pub fsyncs: u64,
+    /// Bytes physically destroyed by post-checkpoint truncation.
+    pub truncated_bytes: u64,
+    /// Commits acknowledged through the group-commit pipeline.
+    pub group_commits: u64,
+    /// Pipeline drains — one fsync each.
+    pub group_batches: u64,
+    /// Largest number of committers folded into one drain.
+    pub group_max_batch: u64,
+    /// Drains failed with an error broadcast to every ticket.
+    pub group_failed_batches: u64,
+    /// Checkpoints executed (caller-driven or `Checkpointer`).
+    pub checkpoints: u64,
+}
+
+impl WalStats {
+    /// fsyncs the pipeline avoided versus per-commit-fsync discipline.
+    pub fn fsyncs_saved(&self) -> u64 {
+        self.group_commits.saturating_sub(self.group_batches)
+    }
+}
+
+/// Snapshot the WAL/durability counters of `db`. Zeros when logging is
+/// off; the `group_*` fields stay zero when the pipeline is disabled.
+pub fn wal_stats(db: &Db) -> WalStats {
+    let (appended, fsyncs) = db.wal().map(|w| w.counters()).unwrap_or((0, 0));
+    let truncated_bytes = db.wal().map(|w| w.truncated_bytes()).unwrap_or(0);
+    let group = db.group_commit_stats().unwrap_or_default();
+    WalStats {
+        appended,
+        fsyncs,
+        truncated_bytes,
+        group_commits: group.commits,
+        group_batches: group.batches,
+        group_max_batch: group.max_batch,
+        group_failed_batches: group.failed_batches,
+        checkpoints: db
+            .stats()
+            .checkpoints
+            .load(std::sync::atomic::Ordering::Relaxed),
+    }
 }
 
 /// On-disk footprint: `(heap bytes, wal bytes)`.
@@ -235,6 +289,30 @@ mod tests {
         assert_eq!(r.stage_histogram[1], 1); // degraded to city
         assert_eq!(r.accurate_values, 1);
         assert_eq!(r.degraded_values, 1);
+    }
+
+    #[test]
+    fn wal_stats_reflect_group_commit_pipeline() {
+        let (_clock, db) = setup();
+        for i in 0..5 {
+            db.insert(
+                "person",
+                &[Value::Int(i), Value::Str("4 rue Jussieu".into())],
+            )
+            .unwrap();
+        }
+        db.checkpoint().unwrap();
+        let s = wal_stats(&db);
+        assert_eq!(s.checkpoints, 1);
+        assert_eq!(s.appended, 16, "5 × (Begin, Insert, Commit) + Checkpoint");
+        assert_eq!(s.group_commits, 6, "5 inserts + 1 checkpoint ticket");
+        assert!(s.group_batches <= s.group_commits);
+        assert_eq!(
+            s.fsyncs, s.group_batches,
+            "with the pipeline on, every log fsync belongs to a drain"
+        );
+        assert!(s.truncated_bytes > 0, "checkpoint truncated the prefix");
+        assert_eq!(s.group_failed_batches, 0);
     }
 
     #[test]

@@ -1,0 +1,486 @@
+//! Group-commit pipeline: one fsync per drain, not per committer.
+//!
+//! Committers enqueue their record batch plus a commit ticket and block;
+//! a dedicated log-writer thread drains every waiting batch, appends all
+//! records, issues **one** [`Wal::sync`] for the whole drain, then
+//! completes the tickets. A committer is only acknowledged *after* the
+//! fsync that covers its records, so the classical WAL durability contract
+//! is unchanged — the pipeline just lets N concurrent committers share one
+//! fsync instead of paying N.
+//!
+//! Batching is natural: while the writer fsyncs drain *n*, the committers
+//! arriving meanwhile pile up and become drain *n+1*. An optional
+//! [`GroupCommitConfig::max_delay`] makes the writer linger once per drain
+//! to deepen the batch further (throughput over latency).
+//!
+//! Failure semantics: if any append or the fsync of a drain fails, every
+//! ticket in that drain is failed with the same broadcast error — no
+//! committer in a failed drain is ever acknowledged. (As with any WAL, a
+//! *failed* commit may still surface after recovery if its bytes reached
+//! the disk; an *acknowledged* commit is always durable.)
+//!
+//! The pipeline also serializes appends against checkpoint truncation:
+//! because every record reaches the log through the single writer thread,
+//! a checkpoint record routed through the pipeline can never interleave
+//! into the middle of another committer's unsynced batch.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration as StdDuration;
+
+use parking_lot::{Condvar, Mutex};
+
+use instant_common::{Error, Result};
+
+use crate::record::{LogRecord, Lsn};
+use crate::writer::Wal;
+
+/// Tuning knobs for the pipeline.
+#[derive(Debug, Clone)]
+pub struct GroupCommitConfig {
+    /// Maximum committers folded into one drain/fsync (clamped to ≥ 1).
+    pub max_batch: usize,
+    /// How long the writer lingers after picking up work, to let more
+    /// committers join the drain. Zero = pure natural batching (no added
+    /// latency; batches still form while the previous fsync runs).
+    pub max_delay: StdDuration,
+}
+
+impl Default for GroupCommitConfig {
+    fn default() -> Self {
+        GroupCommitConfig {
+            max_batch: 128,
+            max_delay: StdDuration::ZERO,
+        }
+    }
+}
+
+/// Pipeline counters (monotonic since spawn).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct GroupCommitStats {
+    /// Tickets acknowledged (commit calls that succeeded).
+    pub commits: u64,
+    /// Drains completed — one fsync each.
+    pub batches: u64,
+    /// Log records appended through the pipeline.
+    pub records: u64,
+    /// Largest number of committers folded into a single drain.
+    pub max_batch: u64,
+    /// Drains whose tickets were failed by an I/O error broadcast.
+    pub failed_batches: u64,
+}
+
+impl GroupCommitStats {
+    /// fsyncs avoided versus a per-commit-fsync discipline.
+    pub fn fsyncs_saved(&self) -> u64 {
+        self.commits.saturating_sub(self.batches)
+    }
+}
+
+#[derive(Default)]
+struct StatsCells {
+    commits: AtomicU64,
+    batches: AtomicU64,
+    records: AtomicU64,
+    max_batch: AtomicU64,
+    failed_batches: AtomicU64,
+}
+
+enum TicketState {
+    Pending,
+    Done(Lsn),
+    Failed(Arc<str>),
+}
+
+/// One committer's rendezvous with the writer thread.
+struct Ticket {
+    state: Mutex<TicketState>,
+    cv: Condvar,
+}
+
+impl Ticket {
+    fn new() -> Ticket {
+        Ticket {
+            state: Mutex::new(TicketState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, lsn: Lsn) {
+        *self.state.lock() = TicketState::Done(lsn);
+        self.cv.notify_all();
+    }
+
+    fn fail(&self, msg: Arc<str>) {
+        *self.state.lock() = TicketState::Failed(msg);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<Lsn> {
+        let mut st = self.state.lock();
+        loop {
+            match &*st {
+                TicketState::Pending => self.cv.wait(&mut st),
+                TicketState::Done(lsn) => return Ok(*lsn),
+                TicketState::Failed(msg) => {
+                    return Err(Error::Io(std::io::Error::other(msg.to_string())))
+                }
+            }
+        }
+    }
+}
+
+/// A commit enqueued by [`GroupCommit::submit`] but not yet awaited.
+pub struct CommitTicket(Arc<Ticket>);
+
+impl CommitTicket {
+    /// Block until the drain covering this commit has fsynced; returns
+    /// the LSN of the batch's first record.
+    pub fn wait(self) -> Result<Lsn> {
+        self.0.wait()
+    }
+}
+
+impl std::fmt::Debug for CommitTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CommitTicket")
+    }
+}
+
+struct Queue {
+    pending: Vec<(Vec<LogRecord>, Arc<Ticket>)>,
+    stopping: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    /// Signals the writer that work arrived or stop was requested.
+    work: Condvar,
+    stats: StatsCells,
+}
+
+/// Handle to the commit pipeline. Dropping (or [`GroupCommit::stop`])
+/// drains every enqueued batch, then joins the writer thread — a clean
+/// shutdown never strands an acknowledged or enqueued committer.
+pub struct GroupCommit {
+    wal: Arc<Wal>,
+    shared: Arc<Shared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for GroupCommit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupCommit")
+            .field("running", &self.handle.is_some())
+            .finish()
+    }
+}
+
+impl GroupCommit {
+    /// Spawn the log-writer thread over `wal`.
+    pub fn spawn(wal: Arc<Wal>, cfg: GroupCommitConfig) -> GroupCommit {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                pending: Vec::new(),
+                stopping: false,
+            }),
+            work: Condvar::new(),
+            stats: StatsCells::default(),
+        });
+        let thread_wal = wal.clone();
+        let thread_shared = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name("wal-group-commit".into())
+            .spawn(move || writer_loop(thread_wal, thread_shared, cfg))
+            .expect("spawn group-commit writer thread");
+        GroupCommit {
+            wal,
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Durably commit `records` as one atomic batch: blocks until the
+    /// writer thread has appended them and fsynced, then returns the LSN
+    /// of the batch's first record.
+    pub fn commit(&self, records: Vec<LogRecord>) -> Result<Lsn> {
+        self.submit(records)?.wait()
+    }
+
+    /// Enqueue `records` without waiting for durability. Callers that
+    /// must order the *enqueue* against other work — e.g. the engine's
+    /// checkpoint gate, which guarantees every record ahead of a
+    /// `Checkpoint` record had its page writes flushed — take the ticket
+    /// inside their critical section and wait outside it.
+    pub fn submit(&self, records: Vec<LogRecord>) -> Result<CommitTicket> {
+        let ticket = Arc::new(Ticket::new());
+        if records.is_empty() {
+            ticket.complete(self.wal.next_lsn());
+            return Ok(CommitTicket(ticket));
+        }
+        {
+            let mut q = self.shared.queue.lock();
+            if q.stopping {
+                return Err(Error::TxState("group-commit pipeline stopped".into()));
+            }
+            q.pending.push((records, ticket.clone()));
+        }
+        self.shared.work.notify_all();
+        Ok(CommitTicket(ticket))
+    }
+
+    /// Snapshot of the pipeline counters.
+    pub fn stats(&self) -> GroupCommitStats {
+        let s = &self.shared.stats;
+        GroupCommitStats {
+            commits: s.commits.load(Ordering::Relaxed),
+            batches: s.batches.load(Ordering::Relaxed),
+            records: s.records.load(Ordering::Relaxed),
+            max_batch: s.max_batch.load(Ordering::Relaxed),
+            failed_batches: s.failed_batches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drain outstanding batches, stop the writer thread, and return the
+    /// final counters. Subsequent [`GroupCommit::commit`] calls error.
+    pub fn stop(mut self) -> GroupCommitStats {
+        self.shutdown();
+        self.stats()
+    }
+
+    fn shutdown(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.shared.queue.lock().stopping = true;
+        self.shared.work.notify_all();
+        let _ = handle.join();
+    }
+}
+
+impl Drop for GroupCommit {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn writer_loop(wal: Arc<Wal>, shared: Arc<Shared>, cfg: GroupCommitConfig) {
+    let _poison = PoisonOnExit(shared.clone());
+    let max_batch = cfg.max_batch.max(1);
+    loop {
+        let drain: Vec<(Vec<LogRecord>, Arc<Ticket>)> = {
+            let mut q = shared.queue.lock();
+            loop {
+                if !q.pending.is_empty() {
+                    break;
+                }
+                if q.stopping {
+                    return;
+                }
+                shared.work.wait(&mut q);
+            }
+            if !cfg.max_delay.is_zero() && q.pending.len() < max_batch && !q.stopping {
+                // Linger to deepen the batch, re-arming the wait across
+                // arrivals (each submit notifies the condvar) until the
+                // deadline passes, the batch fills, or stop is signalled.
+                let deadline = std::time::Instant::now() + cfg.max_delay;
+                while q.pending.len() < max_batch && !q.stopping {
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    if shared.work.wait_for(&mut q, deadline - now).timed_out() {
+                        break;
+                    }
+                }
+            }
+            let take = q.pending.len().min(max_batch);
+            q.pending.drain(..take).collect()
+        };
+
+        let mut first_lsns = Vec::with_capacity(drain.len());
+        let mut appended = 0u64;
+        let mut failure: Option<String> = None;
+        for (records, _) in &drain {
+            match wal.append_batch(records) {
+                Ok(first) => {
+                    first_lsns.push(first);
+                    appended += records.len() as u64;
+                }
+                Err(e) => {
+                    failure = Some(e.to_string());
+                    break;
+                }
+            }
+        }
+        if failure.is_none() {
+            if let Err(e) = wal.sync() {
+                failure = Some(e.to_string());
+            }
+        }
+
+        match failure {
+            None => {
+                let s = &shared.stats;
+                s.commits.fetch_add(drain.len() as u64, Ordering::Relaxed);
+                s.batches.fetch_add(1, Ordering::Relaxed);
+                s.records.fetch_add(appended, Ordering::Relaxed);
+                s.max_batch.fetch_max(drain.len() as u64, Ordering::Relaxed);
+                for ((_, ticket), lsn) in drain.iter().zip(first_lsns) {
+                    ticket.complete(lsn);
+                }
+            }
+            Some(msg) => {
+                // Error broadcast: every ticket in the failed drain gets
+                // the same cause; none is acknowledged. Then poison the
+                // pipeline and exit: a failed append or fsync leaves the
+                // log tail (and kernel dirty-page state) indeterminate,
+                // so acknowledging anything appended after it could
+                // violate acknowledged-implies-durable. The poison guard
+                // fails whatever is still queued.
+                let msg: Arc<str> = format!("group-commit drain failed: {msg}").into();
+                shared.stats.failed_batches.fetch_add(1, Ordering::Relaxed);
+                for (_, ticket) in &drain {
+                    ticket.fail(msg.clone());
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Runs when the writer thread exits — normally, after a drain failure,
+/// or by panic. Marks the pipeline stopped (future submits error out
+/// instead of enqueueing into the void) and fails every ticket still
+/// queued so no committer is stranded in [`CommitTicket::wait`].
+struct PoisonOnExit(Arc<Shared>);
+
+impl Drop for PoisonOnExit {
+    fn drop(&mut self) {
+        let leftovers: Vec<(Vec<LogRecord>, Arc<Ticket>)> = {
+            let mut q = self.0.queue.lock();
+            q.stopping = true;
+            q.pending.drain(..).collect()
+        };
+        if leftovers.is_empty() {
+            return;
+        }
+        let msg: Arc<str> = "group-commit writer thread exited before this drain".into();
+        for (_, ticket) in &leftovers {
+            ticket.fail(msg.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Payload;
+    use instant_common::{TableId, Timestamp, TupleId, TxId};
+
+    fn batch(tx: u64) -> Vec<LogRecord> {
+        let at = Timestamp::micros(tx);
+        vec![
+            LogRecord::Begin { tx: TxId(tx), at },
+            LogRecord::Insert {
+                tx: TxId(tx),
+                table: TableId(1),
+                tid: TupleId::new(1, tx as u16),
+                row: Payload::Plain(format!("row-{tx}").into_bytes()),
+                at,
+            },
+            LogRecord::Commit { tx: TxId(tx), at },
+        ]
+    }
+
+    #[test]
+    fn single_commit_returns_first_lsn_and_is_durable() {
+        let wal = Arc::new(Wal::temp("gc1").unwrap());
+        let gc = GroupCommit::spawn(wal.clone(), GroupCommitConfig::default());
+        assert_eq!(gc.commit(batch(0)).unwrap(), 0);
+        assert_eq!(gc.commit(batch(1)).unwrap(), 3);
+        let stats = gc.stop();
+        assert_eq!(stats.commits, 2);
+        assert_eq!(stats.records, 6);
+        assert_eq!(wal.iterate().unwrap().len(), 6);
+        // Both drains synced before acknowledging.
+        let (_, syncs) = wal.counters();
+        assert_eq!(syncs, stats.batches);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let wal = Arc::new(Wal::temp("gc2").unwrap());
+        let gc = GroupCommit::spawn(wal.clone(), GroupCommitConfig::default());
+        assert_eq!(gc.commit(Vec::new()).unwrap(), 0);
+        assert_eq!(gc.stop().commits, 0);
+        assert!(wal.iterate().unwrap().is_empty());
+    }
+
+    #[test]
+    fn commit_after_stop_errors() {
+        let wal = Arc::new(Wal::temp("gc3").unwrap());
+        let mut gc = GroupCommit::spawn(wal.clone(), GroupCommitConfig::default());
+        gc.shutdown();
+        assert!(gc.commit(batch(0)).is_err());
+    }
+
+    #[test]
+    fn stop_signal_interrupts_linger_and_drains_pending() {
+        // A huge max_delay must not stall shutdown or strand the pending
+        // committer: stop notifies the same condvar the linger waits on,
+        // and the writer drains everything enqueued before exiting.
+        let wal = Arc::new(Wal::temp("gc4").unwrap());
+        let gc = GroupCommit::spawn(
+            wal.clone(),
+            GroupCommitConfig {
+                max_batch: 1024,
+                max_delay: StdDuration::from_secs(30),
+            },
+        );
+        let start = std::time::Instant::now();
+        std::thread::scope(|s| {
+            let gcr = &gc;
+            let committer = s.spawn(move || gcr.commit(batch(7)));
+            let deadline = start + StdDuration::from_secs(10);
+            while gc.shared.queue.lock().pending.is_empty() && std::time::Instant::now() < deadline
+            {
+                std::thread::yield_now();
+            }
+            gc.shared.queue.lock().stopping = true;
+            gc.shared.work.notify_all();
+            committer.join().unwrap().unwrap();
+        });
+        assert!(
+            start.elapsed() < StdDuration::from_secs(10),
+            "stop must interrupt the linger wait"
+        );
+        assert_eq!(wal.iterate().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn concurrent_arrivals_fold_into_fewer_drains() {
+        let wal = Arc::new(Wal::temp("gc5").unwrap());
+        let gc = GroupCommit::spawn(
+            wal.clone(),
+            GroupCommitConfig {
+                max_batch: 1024,
+                max_delay: StdDuration::from_millis(500),
+            },
+        );
+        std::thread::scope(|s| {
+            for tx in 0..4u64 {
+                let gcr = &gc;
+                s.spawn(move || gcr.commit(batch(tx)).unwrap());
+            }
+        });
+        let stats = gc.stop();
+        assert_eq!(stats.commits, 4);
+        assert!(
+            stats.batches < stats.commits,
+            "lingering drain must fold concurrent committers: {stats:?}"
+        );
+        assert_eq!(wal.iterate().unwrap().len(), 12);
+    }
+}

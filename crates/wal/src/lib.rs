@@ -17,6 +17,10 @@
 //!   to the log in any form.
 //! * Periodic checkpoints flush the store and allow physical truncation of
 //!   the old log ([`writer::Wal::truncate_before`]).
+//! * Commits can ride a **group-commit pipeline** ([`group::GroupCommit`]):
+//!   a dedicated log-writer thread drains every waiting commit batch and
+//!   issues one fsync per drain, preserving the acknowledged-implies-
+//!   durable contract while N committers share a single fsync.
 //!
 //! Recovery ([`recovery`]) is logical redo: committed operations after the
 //! last checkpoint are replayed; records whose window key has been shredded
@@ -28,11 +32,13 @@
 //! production cryptography** (see DESIGN.md, substitution table).
 
 pub mod cipher;
+pub mod group;
 pub mod keystore;
 pub mod record;
 pub mod recovery;
 pub mod writer;
 
+pub use group::{CommitTicket, GroupCommit, GroupCommitConfig, GroupCommitStats};
 pub use keystore::KeyStore;
 pub use record::{LogRecord, Lsn, Payload};
 pub use writer::Wal;

@@ -13,7 +13,7 @@
 //! immediately; truncation eventually reclaims and destroys the bytes too.
 
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use parking_lot::Mutex;
@@ -30,6 +30,22 @@ struct WalInner {
     base_lsn: Lsn,
     syncs: u64,
     appended: u64,
+    /// Bytes physically destroyed by truncation since open.
+    truncated_bytes: u64,
+}
+
+impl WalInner {
+    fn append_one(&mut self, rec: &LogRecord) -> Result<Lsn> {
+        let bytes = rec.encode();
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        self.appended += 1;
+        let frame_len = bytes.len() as u32;
+        self.writer.write_all(&frame_len.to_le_bytes())?;
+        self.writer.write_all(&fnv1a(&bytes).to_le_bytes())?;
+        self.writer.write_all(&bytes)?;
+        Ok(lsn)
+    }
 }
 
 /// An append-only write-ahead log.
@@ -47,10 +63,32 @@ impl std::fmt::Debug for Wal {
 
 impl Wal {
     /// Open (or create) the log at `path`, scanning to find the next LSN.
+    /// The scan streams frame by frame — the log is never materialized in
+    /// memory, so opening a multi-gigabyte log costs one pass and one
+    /// frame-sized buffer. A torn/corrupt tail is **trimmed off** before
+    /// the log reopens for appending: without the trim, post-recovery
+    /// commits would land after the garbage bytes and be unreachable by
+    /// every future scan.
     pub fn open(path: impl AsRef<Path>) -> Result<Wal> {
         let path = path.as_ref().to_path_buf();
-        let (records, base_lsn) = Self::read_all(&path)?;
-        let next_lsn = base_lsn + records.len() as u64;
+        let (count, base_lsn, valid_len) = match FrameScanner::open(&path)? {
+            None => (0, 0, None),
+            Some((mut scan, base)) => {
+                let mut n = 0u64;
+                while scan.next_record()?.is_some() {
+                    n += 1;
+                }
+                (n, base, Some((scan.pos, scan.file_len)))
+            }
+        };
+        if let Some((valid, file_len)) = valid_len {
+            if valid < file_len {
+                let f = OpenOptions::new().write(true).open(&path)?;
+                f.set_len(valid)?;
+                f.sync_all()?;
+            }
+        }
+        let next_lsn = base_lsn + count;
         let file = OpenOptions::new()
             .create(true)
             .append(true)
@@ -64,6 +102,7 @@ impl Wal {
                 base_lsn,
                 syncs: 0,
                 appended: 0,
+                truncated_bytes: 0,
             }),
             ephemeral: false,
         })
@@ -93,16 +132,21 @@ impl Wal {
     /// Append a record, returning its LSN. Buffered — call [`Wal::sync`]
     /// at commit points.
     pub fn append(&self, rec: &LogRecord) -> Result<Lsn> {
-        let bytes = rec.encode();
+        self.inner.lock().append_one(rec)
+    }
+
+    /// Append a batch of records contiguously under one lock acquisition,
+    /// returning the LSN of the first (or the next LSN for an empty
+    /// batch). Buffered — call [`Wal::sync`] for durability. Both the
+    /// inline commit path and the group-commit writer thread go through
+    /// this, so the framing/ordering logic exists once.
+    pub fn append_batch(&self, records: &[LogRecord]) -> Result<Lsn> {
         let mut inner = self.inner.lock();
-        let lsn = inner.next_lsn;
-        inner.next_lsn += 1;
-        inner.appended += 1;
-        let frame_len = bytes.len() as u32;
-        inner.writer.write_all(&frame_len.to_le_bytes())?;
-        inner.writer.write_all(&fnv1a(&bytes).to_le_bytes())?;
-        inner.writer.write_all(&bytes)?;
-        Ok(lsn)
+        let first = inner.next_lsn;
+        for rec in records {
+            inner.append_one(rec)?;
+        }
+        Ok(first)
     }
 
     /// Flush buffers and fsync — the durability point.
@@ -118,6 +162,11 @@ impl Wal {
     pub fn counters(&self) -> (u64, u64) {
         let inner = self.inner.lock();
         (inner.appended, inner.syncs)
+    }
+
+    /// Bytes physically destroyed by [`Wal::truncate_before`] since open.
+    pub fn truncated_bytes(&self) -> u64 {
+        self.inner.lock().truncated_bytes
     }
 
     /// Next LSN to be assigned.
@@ -146,35 +195,50 @@ impl Wal {
     }
 
     /// Physically drop all records with `lsn < keep_from` (post-checkpoint
-    /// truncation). Rewrites the retained suffix to a fresh file.
+    /// truncation). Streams the retained suffix to a fresh file — one pass,
+    /// one frame-sized buffer, no in-memory copy of the log.
     pub fn truncate_before(&self, keep_from: Lsn) -> Result<u64> {
         let mut inner = self.inner.lock();
         inner.writer.flush()?;
-        let (records, base) = Self::read_all(&self.path)?;
-        let keep_idx = keep_from.saturating_sub(base).min(records.len() as u64) as usize;
-        let dropped = keep_idx as u64;
+        let old_len = std::fs::metadata(&self.path).map(|m| m.len()).unwrap_or(0);
         let tmp = self.path.with_extension("log.tmp");
+        let mut dropped = 0u64;
         {
-            let mut f = BufWriter::new(File::create(&tmp)?);
-            // New header: base LSN marker frame.
-            f.write_all(b"WALB")?;
-            f.write_all(&(base + dropped).to_le_bytes())?;
-            for rec in &records[keep_idx..] {
-                let bytes = rec.encode();
-                f.write_all(&(bytes.len() as u32).to_le_bytes())?;
-                f.write_all(&fnv1a(&bytes).to_le_bytes())?;
-                f.write_all(&bytes)?;
+            let mut out = BufWriter::new(File::create(&tmp)?);
+            // New header: base LSN marker, patched once `dropped` is known.
+            out.write_all(b"WALB")?;
+            out.write_all(&[0u8; 8])?;
+            let mut new_base = 0;
+            if let Some((mut scan, base)) = FrameScanner::open(&self.path)? {
+                let mut lsn = base;
+                while scan.next_record()?.is_some() {
+                    if lsn >= keep_from {
+                        let body = scan.frame_body();
+                        out.write_all(&(body.len() as u32).to_le_bytes())?;
+                        out.write_all(&fnv1a(body).to_le_bytes())?;
+                        out.write_all(body)?;
+                    } else {
+                        dropped += 1;
+                    }
+                    lsn += 1;
+                }
+                new_base = base + dropped;
             }
-            f.flush()?;
-            f.get_ref().sync_all()?;
+            out.flush()?;
+            let f = out.get_mut();
+            f.seek(SeekFrom::Start(4))?;
+            f.write_all(&new_base.to_le_bytes())?;
+            f.sync_all()?;
         }
         std::fs::rename(&tmp, &self.path)?;
         let file = OpenOptions::new()
             .append(true)
             .read(true)
             .open(&self.path)?;
+        let new_len = file.metadata()?.len();
         inner.writer = BufWriter::new(file);
-        inner.base_lsn = base + dropped;
+        inner.base_lsn += dropped;
+        inner.truncated_bytes += old_len.saturating_sub(new_len);
         Ok(dropped)
     }
 
@@ -193,39 +257,12 @@ impl Wal {
     /// Parse a log file: returns `(records, base_lsn)`. Tolerates a torn
     /// tail (stops), rejects nothing else.
     fn read_all(path: &Path) -> Result<(Vec<LogRecord>, Lsn)> {
-        let mut file = match File::open(path) {
-            Ok(f) => f,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
-            Err(e) => return Err(e.into()),
+        let Some((mut scan, base_lsn)) = FrameScanner::open(path)? else {
+            return Ok((Vec::new(), 0));
         };
-        let mut buf = Vec::new();
-        file.seek(SeekFrom::Start(0))?;
-        file.read_to_end(&mut buf)?;
-        let mut pos = 0usize;
-        let mut base_lsn: Lsn = 0;
-        // Optional base marker written by truncation.
-        if buf.len() >= 12 && &buf[0..4] == b"WALB" {
-            base_lsn = u64::from_le_bytes(buf[4..12].try_into().unwrap());
-            pos = 12;
-        }
         let mut records = Vec::new();
-        while pos + 12 <= buf.len() {
-            let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
-            let sum = u64::from_le_bytes(buf[pos + 4..pos + 12].try_into().unwrap());
-            let start = pos + 12;
-            let end = start + len;
-            if end > buf.len() {
-                break; // torn tail
-            }
-            let body = &buf[start..end];
-            if fnv1a(body) != sum {
-                break; // corrupt frame — stop here
-            }
-            match LogRecord::decode(body) {
-                Ok(rec) => records.push(rec),
-                Err(_) => break,
-            }
-            pos = end;
+        while let Some(rec) = scan.next_record()? {
+            records.push(rec);
         }
         Ok((records, base_lsn))
     }
@@ -253,6 +290,92 @@ impl Drop for Wal {
         if self.ephemeral {
             let _ = std::fs::remove_file(&self.path);
         }
+    }
+}
+
+/// Streaming reader over the framed log: validates and yields one record
+/// at a time. Shared by [`Wal::open`] (LSN scan), [`Wal::truncate_before`]
+/// (suffix copy) and iteration, so none of them ever holds the whole log
+/// in memory.
+struct FrameScanner {
+    reader: BufReader<File>,
+    /// File length at open; caps frame lengths so a torn length field can
+    /// never trigger a giant allocation.
+    file_len: u64,
+    pos: u64,
+    body: Vec<u8>,
+}
+
+impl FrameScanner {
+    /// `None` when the file does not exist; otherwise the scanner plus the
+    /// base LSN from the optional `WALB` truncation marker.
+    fn open(path: &Path) -> Result<Option<(FrameScanner, Lsn)>> {
+        let file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let file_len = file.metadata()?.len();
+        let mut reader = BufReader::new(file);
+        let mut base_lsn: Lsn = 0;
+        let mut pos = 0u64;
+        if file_len >= 12 {
+            let mut head = [0u8; 12];
+            reader.read_exact(&mut head)?;
+            if &head[0..4] == b"WALB" {
+                base_lsn = u64::from_le_bytes(head[4..12].try_into().unwrap());
+                pos = 12;
+            } else {
+                reader.seek(SeekFrom::Start(0))?;
+            }
+        }
+        Ok(Some((
+            FrameScanner {
+                reader,
+                file_len,
+                pos,
+                body: Vec::new(),
+            },
+            base_lsn,
+        )))
+    }
+
+    /// The next intact record; `None` at EOF, a torn tail, or the first
+    /// corrupt frame. After `Some`, [`FrameScanner::frame_body`] holds the
+    /// raw body bytes of that frame.
+    ///
+    /// `pos` advances only past frames that validate end to end, so after
+    /// the scan it marks the exact end of the usable log — [`Wal::open`]
+    /// trims everything beyond it (torn *or* corrupt) before reopening
+    /// for append.
+    fn next_record(&mut self) -> Result<Option<LogRecord>> {
+        if self.pos + 12 > self.file_len {
+            return Ok(None); // torn header / EOF
+        }
+        let mut head = [0u8; 12];
+        self.reader.read_exact(&mut head)?;
+        let len = u32::from_le_bytes(head[0..4].try_into().unwrap()) as u64;
+        let sum = u64::from_le_bytes(head[4..12].try_into().unwrap());
+        if self.pos + 12 + len > self.file_len {
+            return Ok(None); // torn tail
+        }
+        self.body.resize(len as usize, 0);
+        self.reader.read_exact(&mut self.body)?;
+        if fnv1a(&self.body) != sum {
+            return Ok(None); // corrupt frame — stop here, pos untouched
+        }
+        match LogRecord::decode(&self.body) {
+            Ok(rec) => {
+                self.pos += 12 + len;
+                Ok(Some(rec))
+            }
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Raw body bytes of the record last returned by `next_record`.
+    fn frame_body(&self) -> &[u8] {
+        &self.body
     }
 }
 
@@ -318,6 +441,82 @@ mod tests {
     }
 
     #[test]
+    fn reopen_after_corrupt_tail_frame_trims_it_too() {
+        // Corruption with an intact length field (bit rot, failed fsync
+        // garbage) must also be trimmed at open — otherwise the scanner's
+        // end-of-log would include it and post-reopen appends would land
+        // after bytes no scan can ever cross.
+        let path = std::env::temp_dir().join(format!(
+            "instantdb-wal-corrupt-reopen-{}.log",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let wal = Wal::open(&path).unwrap();
+            for i in 0..5 {
+                wal.append(&rec(i)).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        {
+            use std::io::{Read, Seek, SeekFrom, Write};
+            let mut f = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&path)
+                .unwrap();
+            let len = f.metadata().unwrap().len();
+            f.seek(SeekFrom::Start(len - 2)).unwrap();
+            let mut b = [0u8; 1];
+            f.read_exact(&mut b).unwrap();
+            f.seek(SeekFrom::Start(len - 2)).unwrap();
+            f.write_all(&[b[0] ^ 0xAA]).unwrap();
+        }
+        {
+            let wal = Wal::open(&path).unwrap();
+            assert_eq!(wal.next_lsn(), 4, "corrupt final record dropped");
+            assert_eq!(wal.append(&rec(4)).unwrap(), 4);
+            wal.sync().unwrap();
+            let records = wal.iterate().unwrap();
+            assert_eq!(records.len(), 5, "append after corrupt-tail trim reachable");
+            assert_eq!(records[4].1, rec(4));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reopen_after_torn_tail_trims_garbage_so_new_appends_are_reachable() {
+        let path = std::env::temp_dir().join(format!(
+            "instantdb-wal-torn-reopen-{}.log",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let wal = Wal::open(&path).unwrap();
+            for i in 0..5 {
+                wal.append(&rec(i)).unwrap();
+            }
+            wal.sync().unwrap();
+            wal.torn_tail(3).unwrap(); // crash chops into the last frame
+        }
+        {
+            let wal = Wal::open(&path).unwrap();
+            assert_eq!(wal.next_lsn(), 4, "torn final record dropped");
+            let lsn = wal.append(&rec(4)).unwrap();
+            assert_eq!(lsn, 4);
+            wal.sync().unwrap();
+            let records = wal.iterate().unwrap();
+            assert_eq!(
+                records.len(),
+                5,
+                "open must trim the torn garbage or this append is unreachable"
+            );
+            assert_eq!(records[4].1, rec(4));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn torn_tail_detected_and_dropped() {
         let wal = Wal::temp("w2").unwrap();
         for i in 0..5 {
@@ -360,6 +559,10 @@ mod tests {
         let dropped = wal.truncate_before(6).unwrap();
         assert_eq!(dropped, 6);
         assert_eq!(wal.base_lsn(), 6);
+        assert!(
+            wal.truncated_bytes() > 0,
+            "physical destruction must be accounted"
+        );
         let records = wal.iterate().unwrap();
         assert_eq!(records.len(), 4);
         assert_eq!(records[0].0, 6);

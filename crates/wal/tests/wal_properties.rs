@@ -3,11 +3,14 @@
 //! sealing round-trips for live windows and never for shredded ones.
 
 use instant_common::{ColumnId, Duration, LevelId, TableId, Timestamp, TupleId, TxId};
+use instant_wal::group::{GroupCommit, GroupCommitConfig};
 use instant_wal::keystore::KeyStore;
 use instant_wal::record::{LogRecord, Payload};
 use instant_wal::recovery;
+use instant_wal::writer::log_size;
 use instant_wal::Wal;
 use proptest::prelude::*;
+use std::sync::Arc;
 
 fn arb_payload() -> impl Strategy<Value = Payload> {
     proptest::collection::vec(any::<u8>(), 0..64).prop_map(Payload::Plain)
@@ -97,6 +100,42 @@ proptest! {
         prop_assert!(back.len() <= records.len());
         for ((_, got), want) in back.iter().zip(records.iter()) {
             prop_assert_eq!(got, want, "surviving prefix must be unmodified");
+        }
+    }
+
+    #[test]
+    fn acknowledged_group_commits_survive_any_unsynced_tear(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(arb_record(), 1..5), 1..8),
+        junk in proptest::collection::vec(arb_record(), 1..5),
+        cut_at in any::<prop::sample::Index>(),
+    ) {
+        // Everything committed through the pipeline was fsynced before its
+        // ticket completed; a tear of any length within the later unsynced
+        // suffix (a drain the crash interrupted) must leave the
+        // acknowledged records intact, in order.
+        let wal = Arc::new(Wal::temp("prop-group").unwrap());
+        let gc = GroupCommit::spawn(wal.clone(), GroupCommitConfig::default());
+        let mut acknowledged = Vec::new();
+        for b in &batches {
+            acknowledged.extend(b.iter().cloned());
+            gc.commit(b.clone()).unwrap();
+        }
+        gc.stop();
+        let synced = log_size(&wal).unwrap();
+        for r in &junk {
+            wal.append(r).unwrap();
+        }
+        wal.torn_tail(0).unwrap(); // flush the unsynced suffix, no fsync
+        let full = log_size(&wal).unwrap();
+        let cut = cut_at.index((full - synced) as usize + 1) as u64;
+        wal.torn_tail(cut).unwrap();
+        let back = wal.iterate().unwrap();
+        prop_assert!(back.len() >= acknowledged.len(),
+            "tear inside the unsynced suffix can never reach synced frames");
+        for ((lsn, got), (i, want)) in back.iter().zip(acknowledged.iter().enumerate()) {
+            prop_assert_eq!(*lsn, i as u64);
+            prop_assert_eq!(got, want);
         }
     }
 

@@ -69,12 +69,15 @@ pub mod prelude {
         Timestamp, TupleId, Value,
     };
     pub use instant_core::baseline::{protected_location_schema, Protection, FOREVER};
-    pub use instant_core::daemon::DegradationDaemon;
+    pub use instant_core::daemon::{CheckpointReport, Checkpointer, DegradationDaemon};
     pub use instant_core::db::{Db, DbConfig, PumpReport, WalMode};
-    pub use instant_core::metrics::{exposure_of_db, exposure_of_table, total_exposure};
+    pub use instant_core::metrics::{
+        exposure_of_db, exposure_of_table, total_exposure, wal_stats, WalStats,
+    };
     pub use instant_core::query::exec::{QueryOutput, QueryResult};
     pub use instant_core::query::session::{QuerySemantics, Session};
     pub use instant_core::schema::{Column, ColumnKind, TableSchema};
+    pub use instant_core::{GroupCommitConfig, GroupCommitStats};
     pub use instant_lcp::gtree::{location_tree_fig1, GeneralizationTree};
     pub use instant_lcp::{AttributeLcp, Degrader, Hierarchy, RangeHierarchy, TupleLcp};
     pub use instant_storage::SecurePolicy;

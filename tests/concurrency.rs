@@ -111,7 +111,11 @@ fn degrader_races_readers_without_corruption() {
         let r = db.pump_one_batch().unwrap();
         total.fired += r.fired;
         total.deferred += r.deferred;
-        if db.scheduler().due_batch(db.now(), 1).is_empty() && r.fired == 0 && r.deferred == 0 {
+        // Probe with the non-destructive peek: `due_batch` *pops*, so
+        // using it here would silently discard a reader-deferred
+        // transition that was just re-queued and lose it forever.
+        let queue_idle = !matches!(db.scheduler().next_due(), Some(d) if d <= db.now());
+        if queue_idle && r.fired == 0 && r.deferred == 0 {
             break;
         }
         std::thread::yield_now();
