@@ -1,0 +1,131 @@
+//! Checkpoint-truncation cost: segment delete vs retained-suffix rewrite
+//! (the PR's tentpole claim).
+//!
+//! Both lanes truncate the same log: a fixed dead prefix (what the
+//! checkpoint killed) followed by a *growing* retained suffix.
+//!
+//! * `segment_delete/retained=N` — `Wal::truncate_before`: unlink the
+//!   wholly-dead segments. Time must be (near-)independent of the
+//!   retained-log size — the work is O(segments freed).
+//! * `rewrite_baseline/retained=N` — the seed implementation's strategy,
+//!   reproduced here: stream every retained record into a fresh file and
+//!   swap it in. Time grows linearly with the retained size; on the seed
+//!   this ran *under the Wal lock*, so every commit ack paid for it.
+//!
+//! Expected shape: `segment_delete` flat across the retained sizes,
+//! `rewrite_baseline` scaling with them (≈10× more retained data ≈10×
+//! slower), with the gap widening as the log grows.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use instant_common::codec::fnv1a;
+use instant_common::{TableId, Timestamp, TupleId, TxId};
+use instant_wal::record::{LogRecord, Payload};
+use instant_wal::segment::SegmentConfig;
+use instant_wal::Wal;
+
+/// Small segments so both the dead prefix and the retained suffix span
+/// several files even at bench-friendly record counts.
+const SEGMENT_BYTES: u64 = 16 * 1024;
+const DEAD_RECORDS: u64 = 1_000;
+
+fn rec(i: u64) -> LogRecord {
+    LogRecord::Insert {
+        tx: TxId(i),
+        table: TableId(1),
+        tid: TupleId::new(1, (i % u16::MAX as u64) as u16),
+        row: Payload::Plain(format!("row-payload-{i:08}").into_bytes()),
+        at: Timestamp::micros(i),
+    }
+}
+
+/// A log with `DEAD_RECORDS` below the cut and `retained` above it, the
+/// cut sitting exactly on a segment boundary (as the engine guarantees by
+/// rotating before each checkpoint record).
+fn build_log(retained: u64) -> Wal {
+    let wal = Wal::temp_with(
+        "bench-trunc",
+        SegmentConfig {
+            segment_bytes: SEGMENT_BYTES,
+        },
+    )
+    .unwrap();
+    for i in 0..DEAD_RECORDS {
+        wal.append(&rec(i)).unwrap();
+    }
+    wal.rotate().unwrap();
+    for i in DEAD_RECORDS..DEAD_RECORDS + retained {
+        wal.append(&rec(i)).unwrap();
+    }
+    wal.sync().unwrap();
+    wal
+}
+
+/// The seed-era truncation strategy: stream-copy every retained record
+/// into a fresh framed file. (The seed did this under the Wal lock and
+/// then swapped the file in; copying alone captures the O(retained)
+/// cost being benchmarked.)
+fn rewrite_retained_suffix(wal: &Wal, keep_from: u64) -> u64 {
+    let tmp = wal.path().join("rewrite.tmp");
+    let mut kept = 0u64;
+    {
+        let mut out = BufWriter::new(File::create(&tmp).unwrap());
+        for (lsn, rec) in wal.iterate().unwrap() {
+            if lsn < keep_from {
+                continue;
+            }
+            let body = rec.encode();
+            out.write_all(&(body.len() as u32).to_le_bytes()).unwrap();
+            out.write_all(&fnv1a(&body).to_le_bytes()).unwrap();
+            out.write_all(&body).unwrap();
+            kept += 1;
+        }
+        out.flush().unwrap();
+        out.get_ref().sync_all().unwrap();
+    }
+    std::fs::remove_file(&tmp).unwrap();
+    kept
+}
+
+fn bench_truncate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wal_truncate");
+    g.sample_size(10);
+    for &retained in &[500u64, 2_000, 8_000] {
+        g.bench_with_input(
+            BenchmarkId::new("segment_delete", retained),
+            &retained,
+            |b, &retained| {
+                b.iter_batched(
+                    || build_log(retained),
+                    |wal| {
+                        let dropped = wal.truncate_before(DEAD_RECORDS).unwrap();
+                        assert_eq!(dropped, DEAD_RECORDS);
+                        wal
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("rewrite_baseline", retained),
+            &retained,
+            |b, &retained| {
+                b.iter_batched(
+                    || build_log(retained),
+                    |wal| {
+                        let kept = rewrite_retained_suffix(&wal, DEAD_RECORDS);
+                        assert_eq!(kept, retained);
+                        wal
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_truncate);
+criterion_main!(benches);

@@ -48,12 +48,7 @@ fn main() {
 
 fn run(domain: &LocationDomain, n: usize) -> (u64, usize, usize, usize, u128) {
     let path = std::env::temp_dir().join(format!("instantdb-e11-{}-{n}", std::process::id()));
-    for ext in ["idb", "wal", "meta"] {
-        let mut s = path.as_os_str().to_os_string();
-        s.push(".");
-        s.push(ext);
-        let _ = std::fs::remove_file(PathBuf::from(s));
-    }
+    cleanup(&path);
     let clock = MockClock::new();
     let cfg = DbConfig {
         path: Some(path.clone()),
@@ -108,9 +103,7 @@ fn run(domain: &LocationDomain, n: usize) -> (u64, usize, usize, usize, u128) {
         }
         clock.advance(Duration::hours(1));
         db.pump_degradation().unwrap(); // first batch past 1h → city
-        log_bytes = std::fs::metadata(format!("{}.wal", path.display()))
-            .map(|m| m.len())
-            .unwrap_or(0);
+        log_bytes = instant_wal::writer::log_size(db.wal().unwrap()).unwrap_or(0);
         drop(db); // crash
     }
 
@@ -150,11 +143,17 @@ fn run(domain: &LocationDomain, n: usize) -> (u64, usize, usize, usize, u128) {
             }
         }
     }
+    cleanup(&path);
+    (log_bytes, live.len(), mismatches, resurrections, elapsed)
+}
+
+fn cleanup(path: &std::path::Path) {
     for ext in ["idb", "wal", "meta"] {
         let mut s = path.as_os_str().to_os_string();
         s.push(".");
         s.push(ext);
-        let _ = std::fs::remove_file(PathBuf::from(s));
+        let p = PathBuf::from(s);
+        let _ = std::fs::remove_file(&p);
+        let _ = std::fs::remove_dir_all(&p); // the WAL is a segment dir
     }
-    (log_bytes, live.len(), mismatches, resurrections, elapsed)
 }

@@ -14,11 +14,14 @@
 //!   with readers/writers are absorbed inside [`Db::pump_one_batch`] (the
 //!   victim transition is re-queued).
 //! * [`Checkpointer`] periodically flushes dirty pages through the sharded
-//!   pool, routes a `Checkpoint` record through the group-commit pipeline,
-//!   physically truncates the dead log prefix, and shreds key windows
-//!   older than the checkpoint — the shred-then-truncate lifecycle that
-//!   turns "unreadable" into "destroyed". Idle ticks (no WAL growth since
-//!   the last checkpoint) are skipped.
+//!   pool, rotates the WAL so its `Checkpoint` record (routed through the
+//!   group-commit pipeline) starts a fresh segment, shreds key windows
+//!   older than the checkpoint, and then physically truncates the dead
+//!   log prefix by **deleting whole segments** — the rotate → checkpoint
+//!   → shred → delete lifecycle that turns "unreadable" into "destroyed".
+//!   Each cycle costs O(segments freed) unlinks, never a rewrite of
+//!   retained log data, so it is cheap enough to run constantly. Idle
+//!   ticks (no WAL growth since the last checkpoint) are skipped.
 //!
 //! Any non-retryable error stops the owning daemon and is handed back
 //! from its `stop` method.
@@ -156,10 +159,10 @@ pub struct CheckpointReport {
 /// Background checkpoint daemon — the sibling of [`DegradationDaemon`].
 ///
 /// Every tick with WAL growth it runs [`Db::checkpoint`]: flushes dirty
-/// pages, commits a `Checkpoint` record through the group-commit pipeline,
-/// persists catalog meta, physically truncates the dead log prefix and
-/// shreds key windows older than the checkpoint. See the module docs for
-/// why truncation must chase shredding.
+/// pages, rotates the WAL segment, commits a `Checkpoint` record through
+/// the group-commit pipeline, persists catalog meta, shreds key windows
+/// older than the checkpoint and deletes the wholly-dead log segments.
+/// See the module docs for why truncation must chase shredding.
 pub struct Checkpointer {
     core: DaemonCore<CheckpointReport>,
 }
@@ -396,10 +399,21 @@ mod tests {
     #[test]
     fn checkpointer_spawn_from_config_respects_knob() {
         let clock = MockClock::new();
-        let db = db_with_person(&clock);
+        // Explicit `None`: the production default, pinned here because the
+        // CI config matrix overrides `DbConfig::default()` via env knobs.
+        let db = Arc::new(
+            Db::open(
+                DbConfig {
+                    checkpoint_every: None,
+                    ..DbConfig::default()
+                },
+                clock.shared(),
+            )
+            .unwrap(),
+        );
         assert!(
             Checkpointer::spawn_from_config(&db).is_none(),
-            "default config leaves background checkpointing off"
+            "checkpoint_every: None leaves background checkpointing off"
         );
         let db2 = Arc::new(
             Db::open(

@@ -81,6 +81,11 @@ pub struct DbConfig {
     /// [`Checkpointer::spawn_from_config`](crate::daemon::Checkpointer);
     /// `None` leaves checkpointing caller-driven.
     pub checkpoint_every: Option<std::time::Duration>,
+    /// WAL segment capacity in bytes (clamped to the segment module's
+    /// minimum). Smaller segments mean finer-grained truncation; the
+    /// checkpointer frees whole dead segments, never rewriting retained
+    /// data.
+    pub wal_segment_bytes: u64,
     /// Data directory prefix; `None` = ephemeral temp files.
     pub path: Option<PathBuf>,
     /// Key-derivation seed.
@@ -88,19 +93,78 @@ pub struct DbConfig {
 }
 
 impl Default for DbConfig {
+    /// The production defaults, overridable per-process by the
+    /// `INSTANTDB_TEST_*` environment knobs (see [`test_profile`]). CI's
+    /// config-matrix lane uses those knobs to run the whole suite under
+    /// degraded configurations (inline commits, one pool shard, an
+    /// aggressive checkpointer, tiny WAL segments) so non-default paths
+    /// stay exercised. Tests that *assert* a specific configuration set
+    /// the field explicitly instead of relying on this default.
     fn default() -> Self {
+        let profile = test_profile();
         DbConfig {
             buffer_frames: 1024,
-            pool_shards: 0,
+            pool_shards: profile.pool_shards.unwrap_or(0),
             secure: SecurePolicy::Overwrite,
             wal_mode: WalMode::Sealed,
             key_window: Duration::hours(1),
             batch_max: 1024,
-            group_commit: Some(GroupCommitConfig::default()),
-            checkpoint_every: None,
+            group_commit: if profile.group_commit_off {
+                None
+            } else {
+                Some(GroupCommitConfig::default())
+            },
+            checkpoint_every: profile
+                .checkpoint_every_ms
+                .map(std::time::Duration::from_millis),
+            wal_segment_bytes: profile
+                .wal_segment_bytes
+                .unwrap_or(instant_wal::segment::DEFAULT_SEGMENT_BYTES),
             path: None,
             key_seed: 0x1DB0_CAFE,
         }
+    }
+}
+
+/// Environment-driven overrides applied to [`DbConfig::default`] — the
+/// test-harness knob behind CI's degraded-config matrix:
+///
+/// * `INSTANTDB_TEST_GROUP_COMMIT=off|0|false` — inline per-commit fsync
+///   instead of the pipeline;
+/// * `INSTANTDB_TEST_POOL_SHARDS=<n>` — pin the buffer-pool shard count;
+/// * `INSTANTDB_TEST_CHECKPOINT_EVERY_MS=<n>` — arm background
+///   checkpointing wherever a config is spawned from defaults;
+/// * `INSTANTDB_TEST_WAL_SEGMENT_BYTES=<n>` — WAL segment capacity.
+///
+/// The knobs are honored **only in debug builds** (`debug_assertions`):
+/// a release binary's defaults stay pure and deterministic, so a stray
+/// environment variable can never silently weaken production durability
+/// configuration. CI's matrix lane runs the debug test suite.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TestProfile {
+    pub group_commit_off: bool,
+    pub pool_shards: Option<usize>,
+    pub checkpoint_every_ms: Option<u64>,
+    pub wal_segment_bytes: Option<u64>,
+}
+
+/// Read the `INSTANTDB_TEST_*` knobs from the environment (debug builds
+/// only; all-defaults in release).
+pub fn test_profile() -> TestProfile {
+    if !cfg!(debug_assertions) {
+        return TestProfile::default();
+    }
+    fn parse<T: std::str::FromStr>(name: &str) -> Option<T> {
+        std::env::var(name).ok()?.trim().parse().ok()
+    }
+    let group_commit_off = std::env::var("INSTANTDB_TEST_GROUP_COMMIT")
+        .map(|v| matches!(v.trim(), "off" | "0" | "false" | "none"))
+        .unwrap_or(false);
+    TestProfile {
+        group_commit_off,
+        pool_shards: parse("INSTANTDB_TEST_POOL_SHARDS"),
+        checkpoint_every_ms: parse("INSTANTDB_TEST_CHECKPOINT_EVERY_MS"),
+        wal_segment_bytes: parse("INSTANTDB_TEST_WAL_SEGMENT_BYTES"),
     }
 }
 
@@ -174,11 +238,14 @@ impl Db {
         } else {
             BufferPool::with_shards(disk, cfg.buffer_frames, cfg.pool_shards)
         });
+        let seg_cfg = instant_wal::segment::SegmentConfig {
+            segment_bytes: cfg.wal_segment_bytes,
+        };
         let wal = match cfg.wal_mode {
             WalMode::Off => None,
             _ => Some(Arc::new(match &cfg.path {
-                Some(p) => Wal::open(with_ext(p, "wal"))?,
-                None => Wal::temp("db")?,
+                Some(p) => Wal::open_with(with_ext(p, "wal"), seg_cfg)?,
+                None => Wal::temp_with("db", seg_cfg)?,
             })),
         };
         let group = match (&wal, &cfg.group_commit) {
@@ -662,8 +729,9 @@ impl Db {
         }
     }
 
-    /// Checkpoint: flush → log Checkpoint → persist meta → truncate log →
-    /// shred key windows before the checkpoint.
+    /// Checkpoint: flush → rotate the WAL segment → log Checkpoint →
+    /// persist meta → shred key windows before the checkpoint → delete
+    /// the dead log segments.
     ///
     /// Holds the exclusive side of `ckpt_gate` so no commit can enqueue
     /// between `flush_all` and the `Checkpoint` record: every record the
@@ -680,6 +748,17 @@ impl Db {
             let _excl = self.ckpt_gate.write();
             let now = self.now();
             self.pool.flush_all()?;
+            // Rotate so the Checkpoint record starts a fresh segment:
+            // everything before it then lives in wholly-dead segments the
+            // truncation below can delete outright. (Pipeline batches
+            // already enqueued may still drain after the rotate and land
+            // ahead of the Checkpoint record in the new segment — their
+            // page writes were covered by this flush, and replay starts
+            // after the checkpoint LSN, so retaining them briefly is
+            // harmless; they die with the next checkpoint.)
+            if let Some(wal) = &self.wal {
+                wal.rotate()?;
+            }
             // The Checkpoint record rides the pipeline like any commit,
             // so it can never land in the middle of another committer's
             // unsynced batch. We hold the gate's exclusive side, so go to
@@ -701,15 +780,13 @@ impl Db {
             }
             ckpt_lsn
         };
-        // Truncation rewrites the whole retained log — by far the longest
-        // step — so it runs after the gate reopens: commits landing now
-        // get LSNs above `ckpt_lsn` and are retained. Page mutations and
-        // pipeline enqueues proceed during the rewrite; appends and
-        // fsyncs (and therefore commit acknowledgments) still serialize
-        // against it on the Wal's internal lock, so queued drains deepen
-        // and complete together once the rewrite finishes. A snapshot-cut
-        // copy outside the Wal lock would shrink that ack stall too —
-        // ROADMAP follow-up. `ckpt_serial` keeps a second checkpoint from
+        // Truncation deletes whole dead segments — O(segments freed)
+        // unlinks, no retained byte rewritten — and runs after the gate
+        // reopens: commits landing now get LSNs above `ckpt_lsn` and are
+        // retained. The Wal lock is held only to splice the in-memory
+        // segment list (the unlinks happen outside it), so appends,
+        // fsyncs and therefore commit acknowledgments never stall behind
+        // truncation I/O. `ckpt_serial` keeps a second checkpoint from
         // interleaving.
         if let (Some(wal), Some(lsn)) = (&self.wal, ckpt_lsn) {
             wal.truncate_before(lsn)?;
@@ -1192,9 +1269,10 @@ mod tests {
     #[test]
     fn recovery_restores_committed_state() {
         let dir = std::env::temp_dir().join(format!("instantdb-rec-{}", std::process::id()));
-        let _ = std::fs::remove_file(with_ext(&dir, "idb"));
-        let _ = std::fs::remove_file(with_ext(&dir, "wal"));
-        let _ = std::fs::remove_file(with_ext(&dir, "meta"));
+        for f in ["idb", "wal", "meta"] {
+            let _ = std::fs::remove_file(with_ext(&dir, f));
+            let _ = std::fs::remove_dir_all(with_ext(&dir, f));
+        }
         let clock = MockClock::new();
         let cfg = DbConfig {
             path: Some(dir.clone()),
@@ -1221,6 +1299,7 @@ mod tests {
         assert_eq!(db.scheduler().len(), 2);
         for f in ["idb", "wal", "meta"] {
             let _ = std::fs::remove_file(with_ext(&dir, f));
+            let _ = std::fs::remove_dir_all(with_ext(&dir, f));
         }
     }
 
@@ -1229,6 +1308,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("instantdb-rec2-{}", std::process::id()));
         for f in ["idb", "wal", "meta"] {
             let _ = std::fs::remove_file(with_ext(&dir, f));
+            let _ = std::fs::remove_dir_all(with_ext(&dir, f));
         }
         let clock = MockClock::new();
         let cfg = DbConfig {
@@ -1258,6 +1338,7 @@ mod tests {
         let _ = (tid, new_tid);
         for f in ["idb", "wal", "meta"] {
             let _ = std::fs::remove_file(with_ext(&dir, f));
+            let _ = std::fs::remove_dir_all(with_ext(&dir, f));
         }
     }
 

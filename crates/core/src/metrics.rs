@@ -122,15 +122,27 @@ pub fn total_exposure(db: &Db) -> Result<f64> {
 }
 
 /// Durability-pipeline counters: WAL appends/fsyncs, group-commit
-/// batching, checkpoints and physical truncation, in one snapshot.
+/// batching, checkpoints, segment lifecycle and physical truncation, in
+/// one snapshot.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct WalStats {
     /// Records appended to the log since open (any path).
     pub appended: u64,
-    /// fsync calls issued on the log since open.
+    /// fsync calls issued at durability points since open (rotation
+    /// seals are accounted under `segment_rotations`, not here).
     pub fsyncs: u64,
-    /// Bytes physically destroyed by post-checkpoint truncation.
+    /// Bytes physically destroyed by post-checkpoint truncation — the
+    /// summed sizes of deleted segment files. (The old counter measured
+    /// the shrinkage of a retained-suffix rewrite; with segment-delete
+    /// truncation the deleted files *are* the destroyed bytes.)
     pub truncated_bytes: u64,
+    /// Segment files currently on disk (sealed + active).
+    pub segments: u64,
+    /// Segment rotations since open (capacity-triggered or the
+    /// checkpoint's pre-record rotate).
+    pub segment_rotations: u64,
+    /// Whole segments deleted by truncation since open.
+    pub segments_deleted: u64,
     /// Commits acknowledged through the group-commit pipeline.
     pub group_commits: u64,
     /// Pipeline drains — one fsync each.
@@ -154,12 +166,15 @@ impl WalStats {
 /// off; the `group_*` fields stay zero when the pipeline is disabled.
 pub fn wal_stats(db: &Db) -> WalStats {
     let (appended, fsyncs) = db.wal().map(|w| w.counters()).unwrap_or((0, 0));
-    let truncated_bytes = db.wal().map(|w| w.truncated_bytes()).unwrap_or(0);
+    let seg = db.wal().map(|w| w.segment_stats()).unwrap_or_default();
     let group = db.group_commit_stats().unwrap_or_default();
     WalStats {
         appended,
         fsyncs,
-        truncated_bytes,
+        truncated_bytes: seg.deleted_bytes,
+        segments: seg.segments,
+        segment_rotations: seg.rotations,
+        segments_deleted: seg.segments_deleted,
         group_commits: group.commits,
         group_batches: group.batches,
         group_max_batch: group.max_batch,
@@ -293,7 +308,36 @@ mod tests {
 
     #[test]
     fn wal_stats_reflect_group_commit_pipeline() {
-        let (_clock, db) = setup();
+        let clock = MockClock::new();
+        // This test asserts pipeline-specific counters, so it pins the
+        // pipeline on explicitly instead of relying on the (env-profile
+        // overridable) default.
+        let db = Db::open(
+            DbConfig {
+                group_commit: Some(Default::default()),
+                ..DbConfig::default()
+            },
+            clock.shared(),
+        )
+        .unwrap();
+        let gt: Arc<dyn Hierarchy> = Arc::new(location_tree_fig1());
+        db.create_table(
+            TableSchema::new(
+                "person",
+                vec![
+                    Column::stable("id", DataType::Int),
+                    Column::degradable(
+                        "location",
+                        DataType::Str,
+                        gt,
+                        AttributeLcp::fig2_location(),
+                    )
+                    .unwrap(),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
         for i in 0..5 {
             db.insert(
                 "person",
@@ -311,7 +355,16 @@ mod tests {
             s.fsyncs, s.group_batches,
             "with the pipeline on, every log fsync belongs to a drain"
         );
-        assert!(s.truncated_bytes > 0, "checkpoint truncated the prefix");
+        assert!(
+            s.truncated_bytes > 0,
+            "checkpoint deleted the dead segments"
+        );
+        assert!(s.segments_deleted >= 1, "{s:?}");
+        assert!(
+            s.segment_rotations >= 1,
+            "checkpoint rotates before its record: {s:?}"
+        );
+        assert_eq!(s.segments, 1, "only the checkpoint's segment remains");
         assert_eq!(s.group_failed_batches, 0);
     }
 

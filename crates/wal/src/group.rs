@@ -23,6 +23,14 @@
 //! because every record reaches the log through the single writer thread,
 //! a checkpoint record routed through the pipeline can never interleave
 //! into the middle of another committer's unsynced batch.
+//!
+//! Segmented-log interplay: a drain's batch may straddle a segment
+//! rotation. That is safe — rotation fsyncs the outgoing segment before
+//! switching, so the drain's single [`Wal::sync`] (which covers the
+//! active segment) still makes every appended record durable before any
+//! ticket completes. And because truncation deletes whole dead segments
+//! without touching the Wal append lock for the unlink I/O, a drain's
+//! append + fsync never stalls behind a checkpoint truncation.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

@@ -15,8 +15,12 @@
 //! * Degradation steps log **redo-only after-images**
 //!   ([`record::LogRecord::Degrade`]); the finer pre-image is never written
 //!   to the log in any form.
-//! * Periodic checkpoints flush the store and allow physical truncation of
-//!   the old log ([`writer::Wal::truncate_before`]).
+//! * The log is **segmented** ([`segment`]): a directory of fixed-capacity
+//!   `wal.<seqno>.seg` files, rotated on capacity and right before each
+//!   checkpoint. Periodic checkpoints flush the store and physically
+//!   truncate the old log by **deleting whole dead segments**
+//!   ([`writer::Wal::truncate_before`]) — O(segments freed), never a
+//!   rewrite of retained data.
 //! * Commits can ride a **group-commit pipeline** ([`group::GroupCommit`]):
 //!   a dedicated log-writer thread drains every waiting commit batch and
 //!   issues one fsync per drain, preserving the acknowledged-implies-
@@ -36,9 +40,11 @@ pub mod group;
 pub mod keystore;
 pub mod record;
 pub mod recovery;
+pub mod segment;
 pub mod writer;
 
 pub use group::{CommitTicket, GroupCommit, GroupCommitConfig, GroupCommitStats};
 pub use keystore::KeyStore;
 pub use record::{LogRecord, Lsn, Payload};
+pub use segment::{SegmentConfig, SegmentStats};
 pub use writer::Wal;

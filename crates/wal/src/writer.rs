@@ -1,108 +1,304 @@
-//! The log file: append, iterate, truncate, forensic view.
+//! The segmented log: append, rotate, iterate, truncate, forensic view.
 //!
-//! Framing per record: `len: u32 | fnv1a(bytes): u64 | bytes`. Appends are
-//! buffered; `sync()` flushes and fsyncs (called at commit — group commit
-//! simply batches appends between syncs). Iteration stops at the first
-//! frame whose checksum fails or whose length overruns the file: a torn
-//! tail from a crash mid-write loses at most the unsynced suffix, which by
-//! WAL discipline contains no committed work.
+//! A [`Wal`] is a **directory** of fixed-capacity segment files
+//! (`wal.<seqno>.seg`, see [`crate::segment`]). Appends go to the single
+//! *active* (highest-numbered) segment, buffered; `sync()` flushes and
+//! fsyncs it (called at commit — group commit simply batches appends
+//! between syncs). When the active segment reaches capacity the writer
+//! **rotates**: the outgoing segment is flushed + fsynced (sealing it —
+//! a sealed segment never changes again), a fresh segment starting at the
+//! next LSN is created, and the directory entry is fsynced before any
+//! commit relies on the new file.
 //!
 //! `truncate_before(lsn)` physically drops records below an LSN (after a
-//! checkpoint) by rewriting the retained suffix — this is the *physical*
-//! counterpart to key shredding: shredding makes old images unreadable
-//! immediately; truncation eventually reclaims and destroys the bytes too.
+//! checkpoint) by **deleting whole dead segments** — segments whose every
+//! record is below the cut. No retained byte is rewritten and the Wal
+//! lock is held only to splice the in-memory segment list, so the cost is
+//! O(segments freed) unlinks and commit acknowledgments never stall
+//! behind a log-sized copy. This is the *physical* counterpart to key
+//! shredding: shredding makes old images unreadable immediately;
+//! segment deletion reclaims and destroys the bytes themselves. The
+//! engine rotates right before logging a `Checkpoint` record, so the
+//! record starts a fresh segment and everything before it is deletable.
+//!
+//! Recovery streams frames across segments in LSN order; a torn or
+//! corrupt tail is trimmed off the **last** segment at open (sealed
+//! segments were fsynced at rotation, so only the active one can tear).
+//! A log written by the old single-file format is migrated into segments
+//! once, on open — see [`Wal::open`].
 
 use std::fs::{File, OpenOptions};
-use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
 use parking_lot::Mutex;
 
-use instant_common::codec::fnv1a;
 use instant_common::{Error, Result};
 
 use crate::record::{LogRecord, Lsn};
+use crate::segment::{
+    self, FrameScanner, SegmentConfig, SegmentHeader, SegmentStats, SEGMENT_HEADER_LEN,
+};
+
+/// The segment currently receiving appends.
+struct ActiveSegment {
+    seqno: u64,
+    first_lsn: Lsn,
+    records: u64,
+    /// Bytes the file will hold once buffers flush (header + frames).
+    written: u64,
+    path: PathBuf,
+    writer: BufWriter<File>,
+}
+
+/// A rotated segment: immutable on disk until truncation deletes it.
+struct SealedSegment {
+    first_lsn: Lsn,
+    records: u64,
+    bytes: u64,
+    path: PathBuf,
+}
 
 struct WalInner {
-    writer: BufWriter<File>,
+    dir: PathBuf,
+    capacity: u64,
+    sealed: Vec<SealedSegment>,
+    active: ActiveSegment,
     next_lsn: Lsn,
-    /// LSN of the first record still physically present.
-    base_lsn: Lsn,
     syncs: u64,
     appended: u64,
-    /// Bytes physically destroyed by truncation since open.
+    /// Bytes physically destroyed by segment deletion since open.
     truncated_bytes: u64,
+    rotations: u64,
+    segments_deleted: u64,
 }
 
 impl WalInner {
     fn append_one(&mut self, rec: &LogRecord) -> Result<Lsn> {
+        if self.active.written >= self.capacity && self.active.records > 0 {
+            self.rotate()?;
+        }
         let bytes = rec.encode();
         let lsn = self.next_lsn;
         self.next_lsn += 1;
         self.appended += 1;
-        let frame_len = bytes.len() as u32;
-        self.writer.write_all(&frame_len.to_le_bytes())?;
-        self.writer.write_all(&fnv1a(&bytes).to_le_bytes())?;
-        self.writer.write_all(&bytes)?;
+        let frame = segment::write_frame(&mut self.active.writer, &bytes)?;
+        self.active.records += 1;
+        self.active.written += frame;
         Ok(lsn)
+    }
+
+    /// Seal the active segment and start a fresh one at the next LSN.
+    /// No-op while the active segment is empty (so back-to-back rotations
+    /// never litter the directory with zero-record files).
+    ///
+    /// Ordering is load-bearing: the outgoing file is flushed + fsynced
+    /// *before* the switch (sealed segments are therefore always
+    /// complete on disk — only the active segment can tear), and the
+    /// directory entry of the new file is fsynced before any commit's
+    /// `sync()` can acknowledge records inside it.
+    fn rotate(&mut self) -> Result<()> {
+        if self.active.records == 0 {
+            return Ok(());
+        }
+        self.active.writer.flush()?;
+        self.active.writer.get_ref().sync_all()?;
+        let next = create_active(&self.dir, self.active.seqno + 1, self.next_lsn)?;
+        segment::sync_dir(&self.dir)?;
+        let old = std::mem::replace(&mut self.active, next);
+        self.sealed.push(SealedSegment {
+            first_lsn: old.first_lsn,
+            records: old.records,
+            bytes: old.written,
+            path: old.path,
+        });
+        self.rotations += 1;
+        Ok(())
+    }
+
+    fn flush_and_sync_active(&mut self) -> Result<()> {
+        self.active.writer.flush()?;
+        self.active.writer.get_ref().sync_all()?;
+        Ok(())
+    }
+
+    /// `(path, first_lsn)` of every live segment in log order.
+    fn segment_paths(&self) -> Vec<(PathBuf, Lsn)> {
+        self.sealed
+            .iter()
+            .map(|s| (s.path.clone(), s.first_lsn))
+            .chain(std::iter::once((
+                self.active.path.clone(),
+                self.active.first_lsn,
+            )))
+            .collect()
     }
 }
 
-/// An append-only write-ahead log.
-pub struct Wal {
+/// Create segment `seqno` starting at `first_lsn` and buffer its header.
+/// The caller fsyncs the directory when the new name must be durable.
+fn create_active(dir: &Path, seqno: u64, first_lsn: Lsn) -> Result<ActiveSegment> {
+    let path = dir.join(segment::file_name(seqno));
+    let file = OpenOptions::new()
+        .create(true)
+        .truncate(true)
+        .write(true)
+        .read(true)
+        .open(&path)?;
+    let mut writer = BufWriter::new(file);
+    let header = SegmentHeader { seqno, first_lsn };
+    writer.write_all(&header.encode())?;
+    Ok(ActiveSegment {
+        seqno,
+        first_lsn,
+        records: 0,
+        written: SEGMENT_HEADER_LEN,
+        path,
+        writer,
+    })
+}
+
+/// Reopen an existing segment for appending (its valid length and record
+/// count were established by the open-time scan).
+fn reopen_active(
     path: PathBuf,
+    seqno: u64,
+    first_lsn: Lsn,
+    records: u64,
+    written: u64,
+) -> Result<ActiveSegment> {
+    let file = OpenOptions::new().append(true).read(true).open(&path)?;
+    Ok(ActiveSegment {
+        seqno,
+        first_lsn,
+        records,
+        written,
+        path,
+        writer: BufWriter::new(file),
+    })
+}
+
+/// An append-only, segmented write-ahead log.
+pub struct Wal {
+    dir: PathBuf,
     inner: Mutex<WalInner>,
     ephemeral: bool,
 }
 
 impl std::fmt::Debug for Wal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Wal").field("path", &self.path).finish()
+        f.debug_struct("Wal").field("dir", &self.dir).finish()
     }
 }
 
 impl Wal {
-    /// Open (or create) the log at `path`, scanning to find the next LSN.
-    /// The scan streams frame by frame — the log is never materialized in
-    /// memory, so opening a multi-gigabyte log costs one pass and one
-    /// frame-sized buffer. A torn/corrupt tail is **trimmed off** before
-    /// the log reopens for appending: without the trim, post-recovery
-    /// commits would land after the garbage bytes and be unreachable by
-    /// every future scan.
+    /// Open (or create) the log directory at `path` with the default
+    /// segment capacity. Scans stream frame by frame — the log is never
+    /// materialized in memory. A torn/corrupt tail is **trimmed off the
+    /// last segment** before the log reopens for appending: without the
+    /// trim, post-recovery commits would land after the garbage bytes
+    /// and be unreachable by every future scan.
+    ///
+    /// If `path` holds a log written by the old single-file format, it is
+    /// migrated into segments once, here: the file is atomically renamed
+    /// to `<path>.legacy`, its frames are streamed into capacity-sized
+    /// segments inside a fresh directory at `path`, and the marker is
+    /// removed only after the converted log is durable — a crash at any
+    /// point either retries from the marker or was never destructive.
     pub fn open(path: impl AsRef<Path>) -> Result<Wal> {
-        let path = path.as_ref().to_path_buf();
-        let (count, base_lsn, valid_len) = match FrameScanner::open(&path)? {
-            None => (0, 0, None),
-            Some((mut scan, base)) => {
-                let mut n = 0u64;
-                while scan.next_record()?.is_some() {
-                    n += 1;
+        Self::open_with(path, SegmentConfig::default())
+    }
+
+    /// [`Wal::open`] with explicit segment tuning.
+    pub fn open_with(path: impl AsRef<Path>, cfg: SegmentConfig) -> Result<Wal> {
+        let dir = path.as_ref().to_path_buf();
+        migrate_legacy(&dir, &cfg)?;
+        std::fs::create_dir_all(&dir)?;
+        let capacity = cfg.capacity();
+
+        let on_disk = segment::list_segments(&dir)?;
+        let mut metas: Vec<SealedSegment> = Vec::new();
+        let mut last_seqno = 0u64;
+        let mut expect_lsn: Option<Lsn> = None;
+        for (i, (seqno, seg_path)) in on_disk.iter().enumerate() {
+            let scanned = segment::scan_segment(seg_path)?;
+            let valid = scanned.as_ref().is_some_and(|s| {
+                s.header.seqno == *seqno && expect_lsn.map_or(true, |e| s.header.first_lsn == e)
+            });
+            if !valid {
+                // Headerless/corrupt-header segment, or an LSN gap: this
+                // file and everything after it is unreachable garbage
+                // (e.g. a crash before a freshly rotated file's header
+                // was durable). Delete so future appends are reachable.
+                for (_, p) in &on_disk[i..] {
+                    std::fs::remove_file(p)?;
                 }
-                (n, base, Some((scan.pos, scan.file_len)))
+                segment::sync_dir(&dir)?;
+                break;
             }
-        };
-        if let Some((valid, file_len)) = valid_len {
-            if valid < file_len {
-                let f = OpenOptions::new().write(true).open(&path)?;
-                f.set_len(valid)?;
+            let s = scanned.expect("valid implies scanned");
+            let torn = s.valid_len < s.file_len;
+            if torn {
+                // Trim the torn/corrupt tail so post-recovery appends are
+                // reachable, and drop any later segments (only the last
+                // segment of a clean shutdown can tear; later files after
+                // a mid-log tear are beyond the usable log).
+                let f = OpenOptions::new().write(true).open(seg_path)?;
+                f.set_len(s.valid_len)?;
                 f.sync_all()?;
+                for (_, p) in &on_disk[i + 1..] {
+                    std::fs::remove_file(p)?;
+                }
+                if i + 1 < on_disk.len() {
+                    segment::sync_dir(&dir)?;
+                }
+            }
+            last_seqno = *seqno;
+            expect_lsn = Some(s.header.first_lsn + s.records);
+            metas.push(SealedSegment {
+                first_lsn: s.header.first_lsn,
+                records: s.records,
+                bytes: s.valid_len,
+                path: seg_path.clone(),
+            });
+            if torn {
+                break;
             }
         }
-        let next_lsn = base_lsn + count;
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .read(true)
-            .open(&path)?;
+
+        let (active, next_lsn) = match metas.pop() {
+            Some(last) => {
+                let next_lsn = last.first_lsn + last.records;
+                let active = reopen_active(
+                    last.path,
+                    last_seqno,
+                    last.first_lsn,
+                    last.records,
+                    last.bytes,
+                )?;
+                (active, next_lsn)
+            }
+            None => {
+                // Fresh (or fully corrupt) log: start at segment 0, LSN 0.
+                let active = create_active(&dir, 0, 0)?;
+                segment::sync_dir(&dir)?;
+                (active, 0)
+            }
+        };
+
         Ok(Wal {
-            path,
+            dir: dir.clone(),
             inner: Mutex::new(WalInner {
-                writer: BufWriter::new(file),
+                dir,
+                capacity,
+                sealed: metas,
+                active,
                 next_lsn,
-                base_lsn,
                 syncs: 0,
                 appended: 0,
                 truncated_bytes: 0,
+                rotations: 0,
+                segments_deleted: 0,
             }),
             ephemeral: false,
         })
@@ -110,6 +306,11 @@ impl Wal {
 
     /// Throwaway log in the temp directory, removed on drop.
     pub fn temp(tag: &str) -> Result<Wal> {
+        Self::temp_with(tag, SegmentConfig::default())
+    }
+
+    /// [`Wal::temp`] with explicit segment tuning.
+    pub fn temp_with(tag: &str, cfg: SegmentConfig) -> Result<Wal> {
         use std::time::{SystemTime, UNIX_EPOCH};
         let nanos = SystemTime::now()
             .duration_since(UNIX_EPOCH)
@@ -119,14 +320,15 @@ impl Wal {
             "instantdb-wal-{tag}-{}-{nanos}.log",
             std::process::id()
         ));
-        let _ = std::fs::remove_file(&path);
-        let mut wal = Self::open(path)?;
+        let _ = std::fs::remove_dir_all(&path);
+        let mut wal = Self::open_with(path, cfg)?;
         wal.ephemeral = true;
         Ok(wal)
     }
 
+    /// The log directory.
     pub fn path(&self) -> &Path {
-        &self.path
+        &self.dir
     }
 
     /// Append a record, returning its LSN. Buffered — call [`Wal::sync`]
@@ -139,7 +341,10 @@ impl Wal {
     /// returning the LSN of the first (or the next LSN for an empty
     /// batch). Buffered — call [`Wal::sync`] for durability. Both the
     /// inline commit path and the group-commit writer thread go through
-    /// this, so the framing/ordering logic exists once.
+    /// this, so the framing/ordering logic exists once. A batch may
+    /// straddle a rotation; that is safe because rotation fsyncs the
+    /// outgoing segment, so the following [`Wal::sync`] still makes the
+    /// whole batch durable.
     pub fn append_batch(&self, records: &[LogRecord]) -> Result<Lsn> {
         let mut inner = self.inner.lock();
         let first = inner.next_lsn;
@@ -149,16 +354,28 @@ impl Wal {
         Ok(first)
     }
 
-    /// Flush buffers and fsync — the durability point.
+    /// Flush buffers and fsync the active segment — the durability point.
+    /// (Sealed segments were already fsynced when they rotated out.)
     pub fn sync(&self) -> Result<()> {
         let mut inner = self.inner.lock();
-        inner.writer.flush()?;
-        inner.writer.get_ref().sync_all()?;
+        inner.flush_and_sync_active()?;
         inner.syncs += 1;
         Ok(())
     }
 
-    /// `(appended records, fsync calls)` since open.
+    /// Seal the active segment and start a fresh one; no-op when the
+    /// active segment is empty. The engine calls this right before
+    /// logging a `Checkpoint` record so the record starts its own
+    /// segment — every prior record then lives in a wholly-dead segment
+    /// that [`Wal::truncate_before`] can delete.
+    pub fn rotate(&self) -> Result<()> {
+        self.inner.lock().rotate()
+    }
+
+    /// `(appended records, fsync calls)` since open. Rotation fsyncs (the
+    /// seal of an outgoing segment) are *not* counted: the counter tracks
+    /// durability-point syncs, so "one fsync per drain" invariants stay
+    /// exact under any segment capacity.
     pub fn counters(&self) -> (u64, u64) {
         let inner = self.inner.lock();
         (inner.appended, inner.syncs)
@@ -169,6 +386,17 @@ impl Wal {
         self.inner.lock().truncated_bytes
     }
 
+    /// Segment lifecycle counters.
+    pub fn segment_stats(&self) -> SegmentStats {
+        let inner = self.inner.lock();
+        SegmentStats {
+            segments: inner.sealed.len() as u64 + 1,
+            rotations: inner.rotations,
+            segments_deleted: inner.segments_deleted,
+            deleted_bytes: inner.truncated_bytes,
+        }
+    }
+
     /// Next LSN to be assigned.
     pub fn next_lsn(&self) -> Lsn {
         self.inner.lock().next_lsn
@@ -176,111 +404,135 @@ impl Wal {
 
     /// LSN of the first physically retained record.
     pub fn base_lsn(&self) -> Lsn {
-        self.inner.lock().base_lsn
+        let inner = self.inner.lock();
+        inner
+            .sealed
+            .first()
+            .map_or(inner.active.first_lsn, |s| s.first_lsn)
     }
 
-    /// Read every intact record: `(lsn, record)` pairs. Stops at the first
-    /// torn/corrupt frame.
+    /// Read every intact record: `(lsn, record)` pairs, streaming across
+    /// segments in order. Stops at the first torn/corrupt frame. A
+    /// snapshotted segment whose file has vanished was unlinked by a
+    /// concurrent [`Wal::truncate_before`] — its records are below the
+    /// new base, so it is skipped, not treated as end-of-log.
     pub fn iterate(&self) -> Result<Vec<(Lsn, LogRecord)>> {
-        {
+        let paths = {
             let mut inner = self.inner.lock();
-            inner.writer.flush()?;
-        }
-        let (raw, base) = Self::read_all(&self.path)?;
-        Ok(raw
-            .into_iter()
-            .enumerate()
-            .map(|(i, r)| (base + i as u64, r))
-            .collect())
-    }
-
-    /// Physically drop all records with `lsn < keep_from` (post-checkpoint
-    /// truncation). Streams the retained suffix to a fresh file — one pass,
-    /// one frame-sized buffer, no in-memory copy of the log.
-    pub fn truncate_before(&self, keep_from: Lsn) -> Result<u64> {
-        let mut inner = self.inner.lock();
-        inner.writer.flush()?;
-        let old_len = std::fs::metadata(&self.path).map(|m| m.len()).unwrap_or(0);
-        let tmp = self.path.with_extension("log.tmp");
-        let mut dropped = 0u64;
-        {
-            let mut out = BufWriter::new(File::create(&tmp)?);
-            // New header: base LSN marker, patched once `dropped` is known.
-            out.write_all(b"WALB")?;
-            out.write_all(&[0u8; 8])?;
-            let mut new_base = 0;
-            if let Some((mut scan, base)) = FrameScanner::open(&self.path)? {
-                let mut lsn = base;
-                while scan.next_record()?.is_some() {
-                    if lsn >= keep_from {
-                        let body = scan.frame_body();
-                        out.write_all(&(body.len() as u32).to_le_bytes())?;
-                        out.write_all(&fnv1a(body).to_le_bytes())?;
-                        out.write_all(body)?;
-                    } else {
-                        dropped += 1;
-                    }
-                    lsn += 1;
-                }
-                new_base = base + dropped;
-            }
-            out.flush()?;
-            let f = out.get_mut();
-            f.seek(SeekFrom::Start(4))?;
-            f.write_all(&new_base.to_le_bytes())?;
-            f.sync_all()?;
-        }
-        std::fs::rename(&tmp, &self.path)?;
-        let file = OpenOptions::new()
-            .append(true)
-            .read(true)
-            .open(&self.path)?;
-        let new_len = file.metadata()?.len();
-        inner.writer = BufWriter::new(file);
-        inner.base_lsn += dropped;
-        inner.truncated_bytes += old_len.saturating_sub(new_len);
-        Ok(dropped)
-    }
-
-    /// Raw on-disk log bytes (forensic attacker's view).
-    pub fn raw_image(&self) -> Result<Vec<u8>> {
-        {
-            let mut inner = self.inner.lock();
-            inner.writer.flush()?;
-        }
-        let mut f = File::open(&self.path)?;
+            inner.active.writer.flush()?;
+            inner.segment_paths()
+        };
         let mut out = Vec::new();
-        f.read_to_end(&mut out)?;
+        for (path, first_lsn) in paths {
+            let (records, clean) = match scan_records(&path)? {
+                Some(s) => s,
+                None if !path.exists() => {
+                    out.clear(); // racing truncation deleted the prefix
+                    continue;
+                }
+                None => break, // unreadable header — end of usable log
+            };
+            for (lsn, rec) in (first_lsn..).zip(records) {
+                out.push((lsn, rec));
+            }
+            if !clean {
+                break; // torn/corrupt frame — nothing after it is reachable
+            }
+        }
         Ok(out)
     }
 
-    /// Parse a log file: returns `(records, base_lsn)`. Tolerates a torn
-    /// tail (stops), rejects nothing else.
-    fn read_all(path: &Path) -> Result<(Vec<LogRecord>, Lsn)> {
-        let Some((mut scan, base_lsn)) = FrameScanner::open(path)? else {
-            return Ok((Vec::new(), 0));
+    /// Physically drop all records with `lsn < keep_from` (post-checkpoint
+    /// truncation) by deleting every sealed segment whose records are all
+    /// below the cut. Never rewrites a retained byte; the Wal lock is held
+    /// only to splice the in-memory segment list, and the unlinks happen
+    /// outside it, so concurrent appends/fsyncs (commit acknowledgments)
+    /// never wait on truncation I/O. Returns the number of records
+    /// dropped — at most `keep_from - base_lsn`, less when the cut lands
+    /// mid-segment (the remainder dies with the *next* truncation, after
+    /// the following checkpoint rotates).
+    pub fn truncate_before(&self, keep_from: Lsn) -> Result<u64> {
+        let (dead, dir) = {
+            let mut inner = self.inner.lock();
+            // Sealed segment i covers [first_lsn_i, end_i) where end_i is
+            // the next segment's (or the active segment's) first LSN; it
+            // is dead iff end_i <= keep_from. Find the split point, then
+            // splice once — O(sealed), not O(dead × sealed).
+            let mut k = 0;
+            while k < inner.sealed.len() {
+                let end = inner
+                    .sealed
+                    .get(k + 1)
+                    .map_or(inner.active.first_lsn, |next| next.first_lsn);
+                if end > keep_from {
+                    break;
+                }
+                k += 1;
+            }
+            let dead: Vec<SealedSegment> = inner.sealed.drain(..k).collect();
+            for seg in &dead {
+                inner.truncated_bytes += seg.bytes;
+            }
+            inner.segments_deleted += k as u64;
+            (dead, inner.dir.clone())
         };
-        let mut records = Vec::new();
-        while let Some(rec) = scan.next_record()? {
-            records.push(rec);
+        let mut dropped = 0u64;
+        // Ascending order: a crash mid-way leaves the surviving segments
+        // contiguous from some new base.
+        for seg in &dead {
+            dropped += seg.records;
+            std::fs::remove_file(&seg.path)?;
         }
-        Ok((records, base_lsn))
+        if !dead.is_empty() {
+            segment::sync_dir(&dir)?;
+        }
+        Ok(dropped)
     }
 
-    /// Simulate a crash that loses the last `n` *bytes* of the file (torn
-    /// write). Test/experiment hook.
+    /// Raw on-disk log bytes (forensic attacker's view): every segment's
+    /// bytes, concatenated in log order. A snapshotted segment whose file
+    /// has vanished was unlinked by a concurrent truncation — exactly
+    /// what the attacker would (not) find on disk — so it contributes
+    /// nothing rather than failing the dump.
+    pub fn raw_image(&self) -> Result<Vec<u8>> {
+        let paths = {
+            let mut inner = self.inner.lock();
+            inner.active.writer.flush()?;
+            inner.segment_paths()
+        };
+        let mut out = Vec::new();
+        for (path, _) in paths {
+            match File::open(&path) {
+                Ok(mut f) => {
+                    f.read_to_end(&mut out)?;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Simulate a crash that loses the last `n` *bytes* of the log (torn
+    /// write on the active segment; a real crash cannot reach sealed
+    /// segments, which were fsynced at rotation). `torn_tail(0)` flushes
+    /// buffers to the OS without fsync — the file state a crash point
+    /// mid-drain would leave. Test/experiment hook: the in-memory record
+    /// count is deliberately not rescanned (real usage reopens the log).
     pub fn torn_tail(&self, n: u64) -> Result<()> {
         let mut inner = self.inner.lock();
-        inner.writer.flush()?;
-        let f = OpenOptions::new().write(true).open(&self.path)?;
+        inner.active.writer.flush()?;
+        let f = OpenOptions::new().write(true).open(&inner.active.path)?;
         let len = f.metadata()?.len();
-        f.set_len(len.saturating_sub(n))?;
+        let new_len = len.saturating_sub(n).max(SEGMENT_HEADER_LEN);
+        f.set_len(new_len)?;
         drop(f);
         let file = OpenOptions::new()
             .append(true)
             .read(true)
-            .open(&self.path)?;
-        inner.writer = BufWriter::new(file);
+            .open(&inner.active.path)?;
+        inner.active.writer = BufWriter::new(file);
+        inner.active.written = new_len;
         Ok(())
     }
 }
@@ -288,102 +540,129 @@ impl Wal {
 impl Drop for Wal {
     fn drop(&mut self) {
         if self.ephemeral {
-            let _ = std::fs::remove_file(&self.path);
+            let _ = std::fs::remove_dir_all(&self.dir);
         }
     }
 }
 
-/// Streaming reader over the framed log: validates and yields one record
-/// at a time. Shared by [`Wal::open`] (LSN scan), [`Wal::truncate_before`]
-/// (suffix copy) and iteration, so none of them ever holds the whole log
-/// in memory.
-struct FrameScanner {
-    reader: BufReader<File>,
-    /// File length at open; caps frame lengths so a torn length field can
-    /// never trigger a giant allocation.
-    file_len: u64,
-    pos: u64,
-    body: Vec<u8>,
+/// Scan one segment's records; `Ok(None)` when its header is unreadable.
+/// The bool is `true` when the scan consumed the file cleanly (no torn or
+/// corrupt tail).
+fn scan_records(path: &Path) -> Result<Option<(Vec<LogRecord>, bool)>> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let len = file.metadata()?.len();
+    if len < SEGMENT_HEADER_LEN {
+        return Ok(None);
+    }
+    let mut scan = FrameScanner::new(file, SEGMENT_HEADER_LEN)?;
+    let mut records = Vec::new();
+    while let Some(rec) = scan.next_record()? {
+        records.push(rec);
+    }
+    let clean = scan.pos() == scan.file_len();
+    Ok(Some((records, clean)))
 }
 
-impl FrameScanner {
-    /// `None` when the file does not exist; otherwise the scanner plus the
-    /// base LSN from the optional `WALB` truncation marker.
-    fn open(path: &Path) -> Result<Option<(FrameScanner, Lsn)>> {
-        let file = match File::open(path) {
-            Ok(f) => f,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(e.into()),
-        };
-        let file_len = file.metadata()?.len();
-        let mut reader = BufReader::new(file);
-        let mut base_lsn: Lsn = 0;
-        let mut pos = 0u64;
-        if file_len >= 12 {
-            let mut head = [0u8; 12];
-            reader.read_exact(&mut head)?;
-            if &head[0..4] == b"WALB" {
-                base_lsn = u64::from_le_bytes(head[4..12].try_into().unwrap());
-                pos = 12;
-            } else {
-                reader.seek(SeekFrom::Start(0))?;
-            }
-        }
-        Ok(Some((
-            FrameScanner {
-                reader,
-                file_len,
-                pos,
-                body: Vec::new(),
-            },
-            base_lsn,
-        )))
-    }
+/// The `<path>.legacy` marker used while migrating a single-file log.
+fn legacy_marker(path: &Path) -> PathBuf {
+    let mut s = path.as_os_str().to_os_string();
+    s.push(".legacy");
+    PathBuf::from(s)
+}
 
-    /// The next intact record; `None` at EOF, a torn tail, or the first
-    /// corrupt frame. After `Some`, [`FrameScanner::frame_body`] holds the
-    /// raw body bytes of that frame.
-    ///
-    /// `pos` advances only past frames that validate end to end, so after
-    /// the scan it marks the exact end of the usable log — [`Wal::open`]
-    /// trims everything beyond it (torn *or* corrupt) before reopening
-    /// for append.
-    fn next_record(&mut self) -> Result<Option<LogRecord>> {
-        if self.pos + 12 > self.file_len {
-            return Ok(None); // torn header / EOF
+/// One-shot migration of the old single-file format (optional `WALB`
+/// base-LSN header + frames) into a segment directory. The marker rename
+/// is atomic; the marker is deleted only after the converted segments
+/// are durable, so every crash window either finds the original file,
+/// or the marker (and retries the conversion), or the finished
+/// directory.
+fn migrate_legacy(path: &Path, cfg: &SegmentConfig) -> Result<()> {
+    let marker = legacy_marker(path);
+    if path.is_file() {
+        // A stale marker next to a live file would be from an attempt
+        // that never got to rename; the file at `path` is authoritative.
+        let _ = std::fs::remove_file(&marker);
+        std::fs::rename(path, &marker)?;
+    } else if !marker.is_file() {
+        return Ok(()); // nothing to migrate
+    }
+    // (Re)build the directory from the marker. A partial directory from
+    // an interrupted previous attempt is discarded wholesale.
+    if path.exists() {
+        std::fs::remove_dir_all(path)?;
+    }
+    std::fs::create_dir_all(path)?;
+    convert_legacy(&marker, path, cfg)?;
+    std::fs::remove_file(&marker)?;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            // This fsync makes the marker's removal durable. It must not
+            // be swallowed: if the unlink were lost to a crash, the next
+            // open would find the marker, discard the (by then live,
+            // acknowledged) segment directory and rebuild from the stale
+            // legacy file.
+            segment::sync_dir(parent)?;
         }
+    }
+    Ok(())
+}
+
+/// Stream the legacy file's valid frames into capacity-sized segments
+/// under `dir`. A torn/corrupt legacy tail is simply not copied — the
+/// same trim `Wal::open` used to apply.
+fn convert_legacy(legacy: &Path, dir: &Path, cfg: &SegmentConfig) -> Result<()> {
+    let file = File::open(legacy)?;
+    let file_len = file.metadata()?.len();
+    let mut reader = file;
+    let mut base_lsn: Lsn = 0;
+    let mut start = 0u64;
+    if file_len >= 12 {
         let mut head = [0u8; 12];
-        self.reader.read_exact(&mut head)?;
-        let len = u32::from_le_bytes(head[0..4].try_into().unwrap()) as u64;
-        let sum = u64::from_le_bytes(head[4..12].try_into().unwrap());
-        if self.pos + 12 + len > self.file_len {
-            return Ok(None); // torn tail
-        }
-        self.body.resize(len as usize, 0);
-        self.reader.read_exact(&mut self.body)?;
-        if fnv1a(&self.body) != sum {
-            return Ok(None); // corrupt frame — stop here, pos untouched
-        }
-        match LogRecord::decode(&self.body) {
-            Ok(rec) => {
-                self.pos += 12 + len;
-                Ok(Some(rec))
-            }
-            Err(_) => Ok(None),
+        reader.read_exact(&mut head)?;
+        if &head[0..4] == b"WALB" {
+            base_lsn = u64::from_le_bytes(head[4..12].try_into().unwrap());
+            start = 12;
         }
     }
-
-    /// Raw body bytes of the record last returned by `next_record`.
-    fn frame_body(&self) -> &[u8] {
-        &self.body
+    use std::io::Seek;
+    reader.seek(std::io::SeekFrom::Start(0))?;
+    let mut scan = FrameScanner::new(reader, start)?;
+    let capacity = cfg.capacity();
+    let mut seqno = 0u64;
+    let mut lsn = base_lsn;
+    let mut active = create_active(dir, seqno, lsn)?;
+    while scan.next_record()?.is_some() {
+        if active.written >= capacity && active.records > 0 {
+            active.writer.flush()?;
+            active.writer.get_ref().sync_all()?;
+            seqno += 1;
+            active = create_active(dir, seqno, lsn)?;
+        }
+        let frame = segment::write_frame(&mut active.writer, scan.frame_body())?;
+        active.records += 1;
+        active.written += frame;
+        lsn += 1;
     }
+    active.writer.flush()?;
+    active.writer.get_ref().sync_all()?;
+    segment::sync_dir(dir)?;
+    Ok(())
 }
 
-/// Helper for benches: total on-disk size of the log in bytes.
+/// Helper for benches/tests: total on-disk size of the log in bytes
+/// (every segment file summed).
 pub fn log_size(wal: &Wal) -> Result<u64> {
-    std::fs::metadata(wal.path())
-        .map(|m| m.len())
-        .map_err(Error::from)
+    let mut total = 0u64;
+    for (_, path) in segment::list_segments(wal.path())? {
+        total += std::fs::metadata(&path)
+            .map(|m| m.len())
+            .map_err(Error::from)?;
+    }
+    Ok(total)
 }
 
 #[cfg(test)]
@@ -400,6 +679,24 @@ mod tests {
             row: Payload::Plain(format!("row-{i}").into_bytes()),
             at: Timestamp::micros(i),
         }
+    }
+
+    fn tiny_cfg() -> SegmentConfig {
+        SegmentConfig {
+            segment_bytes: 1, // clamps to MIN_SEGMENT_BYTES
+        }
+    }
+
+    /// Unique non-ephemeral path for reopen tests (cleaned by the test).
+    fn scratch(tag: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!(
+            "instantdb-waldir-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&p);
+        let _ = std::fs::remove_file(&p);
+        p
     }
 
     #[test]
@@ -420,9 +717,7 @@ mod tests {
 
     #[test]
     fn reopen_continues_lsns() {
-        let path =
-            std::env::temp_dir().join(format!("instantdb-wal-reopen-{}.log", std::process::id()));
-        let _ = std::fs::remove_file(&path);
+        let path = scratch("reopen");
         {
             let wal = Wal::open(&path).unwrap();
             wal.append(&rec(0)).unwrap();
@@ -437,7 +732,57 @@ mod tests {
             wal.sync().unwrap();
             assert_eq!(wal.iterate().unwrap().len(), 3);
         }
-        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_dir_all(&path).unwrap();
+    }
+
+    #[test]
+    fn rotation_on_capacity_creates_numbered_segments() {
+        let wal = Wal::temp_with("rot", tiny_cfg()).unwrap();
+        // Each record is ~60 framed bytes; MIN_SEGMENT_BYTES = 4096, so
+        // ~70 records per segment. 300 records must rotate several times.
+        for i in 0..300 {
+            wal.append(&rec(i)).unwrap();
+        }
+        wal.sync().unwrap();
+        let stats = wal.segment_stats();
+        assert!(stats.rotations >= 2, "{stats:?}");
+        assert_eq!(stats.segments, stats.rotations + 1);
+        let names: Vec<u64> = segment::list_segments(wal.path())
+            .unwrap()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        let want: Vec<u64> = (0..names.len() as u64).collect();
+        assert_eq!(names, want, "segments numbered sequentially from 0");
+        // The full stream reads back across the rotation boundaries.
+        let records = wal.iterate().unwrap();
+        assert_eq!(records.len(), 300);
+        for (i, (lsn, r)) in records.iter().enumerate() {
+            assert_eq!(*lsn, i as u64);
+            assert_eq!(r, &rec(i as u64));
+        }
+    }
+
+    #[test]
+    fn reopen_multi_segment_log_continues_lsns() {
+        let path = scratch("reopen-multi");
+        {
+            let wal = Wal::open_with(&path, tiny_cfg()).unwrap();
+            for i in 0..200 {
+                wal.append(&rec(i)).unwrap();
+            }
+            wal.sync().unwrap();
+            assert!(wal.segment_stats().rotations >= 1);
+        }
+        {
+            let wal = Wal::open_with(&path, tiny_cfg()).unwrap();
+            assert_eq!(wal.next_lsn(), 200);
+            assert_eq!(wal.base_lsn(), 0);
+            assert_eq!(wal.append(&rec(200)).unwrap(), 200);
+            wal.sync().unwrap();
+            assert_eq!(wal.iterate().unwrap().len(), 201);
+        }
+        std::fs::remove_dir_all(&path).unwrap();
     }
 
     #[test]
@@ -446,11 +791,7 @@ mod tests {
         // garbage) must also be trimmed at open — otherwise the scanner's
         // end-of-log would include it and post-reopen appends would land
         // after bytes no scan can ever cross.
-        let path = std::env::temp_dir().join(format!(
-            "instantdb-wal-corrupt-reopen-{}.log",
-            std::process::id()
-        ));
-        let _ = std::fs::remove_file(&path);
+        let path = scratch("corrupt-reopen");
         {
             let wal = Wal::open(&path).unwrap();
             for i in 0..5 {
@@ -460,11 +801,8 @@ mod tests {
         }
         {
             use std::io::{Read, Seek, SeekFrom, Write};
-            let mut f = OpenOptions::new()
-                .read(true)
-                .write(true)
-                .open(&path)
-                .unwrap();
+            let seg = segment::list_segments(&path).unwrap().pop().unwrap().1;
+            let mut f = OpenOptions::new().read(true).write(true).open(seg).unwrap();
             let len = f.metadata().unwrap().len();
             f.seek(SeekFrom::Start(len - 2)).unwrap();
             let mut b = [0u8; 1];
@@ -481,16 +819,12 @@ mod tests {
             assert_eq!(records.len(), 5, "append after corrupt-tail trim reachable");
             assert_eq!(records[4].1, rec(4));
         }
-        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_dir_all(&path).unwrap();
     }
 
     #[test]
     fn reopen_after_torn_tail_trims_garbage_so_new_appends_are_reachable() {
-        let path = std::env::temp_dir().join(format!(
-            "instantdb-wal-torn-reopen-{}.log",
-            std::process::id()
-        ));
-        let _ = std::fs::remove_file(&path);
+        let path = scratch("torn-reopen");
         {
             let wal = Wal::open(&path).unwrap();
             for i in 0..5 {
@@ -513,7 +847,7 @@ mod tests {
             );
             assert_eq!(records[4].1, rec(4));
         }
-        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_dir_all(&path).unwrap();
     }
 
     #[test]
@@ -536,13 +870,13 @@ mod tests {
             wal.append(&rec(i)).unwrap();
         }
         wal.sync().unwrap();
-        // Flip a byte near the middle of the file.
-        let img = wal.raw_image().unwrap();
-        let mid = img.len() / 2;
+        // Flip a byte near the middle of the (single) segment file.
+        let seg = segment::list_segments(wal.path()).unwrap().pop().unwrap().1;
+        let mid = std::fs::metadata(&seg).unwrap().len() / 2;
         {
             use std::io::{Seek, SeekFrom, Write};
-            let mut f = OpenOptions::new().write(true).open(wal.path()).unwrap();
-            f.seek(SeekFrom::Start(mid as u64)).unwrap();
+            let mut f = OpenOptions::new().write(true).open(&seg).unwrap();
+            f.seek(SeekFrom::Start(mid)).unwrap();
             f.write_all(&[0xFF]).unwrap();
         }
         let records = wal.iterate().unwrap();
@@ -550,12 +884,17 @@ mod tests {
     }
 
     #[test]
-    fn truncate_before_drops_prefix() {
+    fn truncate_deletes_only_whole_dead_segments() {
         let wal = Wal::temp("w4").unwrap();
-        for i in 0..10 {
+        for i in 0..6 {
+            wal.append(&rec(i)).unwrap();
+        }
+        wal.rotate().unwrap(); // seal [0..6)
+        for i in 6..10 {
             wal.append(&rec(i)).unwrap();
         }
         wal.sync().unwrap();
+        // Cut at 6 = the segment boundary: the sealed segment dies whole.
         let dropped = wal.truncate_before(6).unwrap();
         assert_eq!(dropped, 6);
         assert_eq!(wal.base_lsn(), 6);
@@ -563,6 +902,7 @@ mod tests {
             wal.truncated_bytes() > 0,
             "physical destruction must be accounted"
         );
+        assert_eq!(wal.segment_stats().segments_deleted, 1);
         let records = wal.iterate().unwrap();
         assert_eq!(records.len(), 4);
         assert_eq!(records[0].0, 6);
@@ -572,6 +912,29 @@ mod tests {
         assert_eq!(lsn, 10);
         wal.sync().unwrap();
         assert_eq!(wal.iterate().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn truncate_mid_segment_keeps_the_whole_segment() {
+        // The cut lands inside the sealed segment: nothing is rewritten,
+        // so the whole segment survives and `dropped` reports 0. The
+        // remainder dies with the next checkpoint's truncation.
+        let wal = Wal::temp("w4b").unwrap();
+        for i in 0..6 {
+            wal.append(&rec(i)).unwrap();
+        }
+        wal.rotate().unwrap();
+        for i in 6..8 {
+            wal.append(&rec(i)).unwrap();
+        }
+        wal.sync().unwrap();
+        let dropped = wal.truncate_before(3).unwrap();
+        assert_eq!(dropped, 0, "mid-segment cut deletes nothing");
+        assert_eq!(wal.base_lsn(), 0);
+        assert_eq!(wal.iterate().unwrap().len(), 8);
+        // A later cut at/past the boundary frees it.
+        assert_eq!(wal.truncate_before(7).unwrap(), 6);
+        assert_eq!(wal.base_lsn(), 6);
     }
 
     #[test]
@@ -585,6 +948,9 @@ mod tests {
             at: Timestamp::ZERO,
         })
         .unwrap();
+        // The engine rotates before a checkpoint record for exactly this
+        // reason: the doomed record's segment becomes wholly dead.
+        wal.rotate().unwrap();
         wal.append(&rec(99)).unwrap();
         wal.sync().unwrap();
         assert!(wal
@@ -603,6 +969,72 @@ mod tests {
     }
 
     #[test]
+    fn migration_converts_legacy_single_file_log() {
+        use instant_common::codec::fnv1a;
+        let path = scratch("migrate");
+        // Hand-write the old single-file format: WALB header with base
+        // LSN 2, then framed records, then a torn half-frame.
+        {
+            let mut f = File::create(&path).unwrap();
+            f.write_all(b"WALB").unwrap();
+            f.write_all(&2u64.to_le_bytes()).unwrap();
+            for i in 2..8u64 {
+                let body = rec(i).encode();
+                f.write_all(&(body.len() as u32).to_le_bytes()).unwrap();
+                f.write_all(&fnv1a(&body).to_le_bytes()).unwrap();
+                f.write_all(&body).unwrap();
+            }
+            f.write_all(&[7u8; 5]).unwrap(); // torn garbage tail
+            f.sync_all().unwrap();
+        }
+        let wal = Wal::open(&path).unwrap();
+        assert!(path.is_dir(), "file migrated into a segment directory");
+        assert!(
+            !legacy_marker(&path).exists(),
+            "migration marker cleaned up"
+        );
+        assert_eq!(wal.base_lsn(), 2, "WALB base LSN carried over");
+        assert_eq!(wal.next_lsn(), 8, "torn legacy tail not migrated");
+        let records = wal.iterate().unwrap();
+        assert_eq!(records.len(), 6);
+        for (lsn, r) in &records {
+            assert_eq!(r, &rec(*lsn));
+        }
+        // The migrated log keeps working.
+        assert_eq!(wal.append(&rec(8)).unwrap(), 8);
+        wal.sync().unwrap();
+        drop(wal);
+        std::fs::remove_dir_all(&path).unwrap();
+    }
+
+    #[test]
+    fn interrupted_migration_retries_from_marker() {
+        use instant_common::codec::fnv1a;
+        let path = scratch("migrate-crash");
+        // Simulate a crash *after* the legacy file was renamed to the
+        // marker but with only a partial directory written: open must
+        // rebuild from the marker, not trust the partial dir.
+        {
+            let mut f = File::create(legacy_marker(&path)).unwrap();
+            for i in 0..4u64 {
+                let body = rec(i).encode();
+                f.write_all(&(body.len() as u32).to_le_bytes()).unwrap();
+                f.write_all(&fnv1a(&body).to_le_bytes()).unwrap();
+                f.write_all(&body).unwrap();
+            }
+            f.sync_all().unwrap();
+        }
+        std::fs::create_dir_all(&path).unwrap();
+        std::fs::write(path.join(segment::file_name(0)), b"partial junk").unwrap();
+        let wal = Wal::open(&path).unwrap();
+        assert_eq!(wal.next_lsn(), 4, "all four legacy records migrated");
+        assert!(!legacy_marker(&path).exists());
+        assert_eq!(wal.iterate().unwrap().len(), 4);
+        drop(wal);
+        std::fs::remove_dir_all(&path).unwrap();
+    }
+
+    #[test]
     fn counters_track_appends_and_syncs() {
         let wal = Wal::temp("w6").unwrap();
         wal.append(&rec(0)).unwrap();
@@ -613,9 +1045,62 @@ mod tests {
     }
 
     #[test]
+    fn rotation_fsync_not_counted_as_durability_sync() {
+        let wal = Wal::temp("w6b").unwrap();
+        wal.append(&rec(0)).unwrap();
+        wal.rotate().unwrap();
+        wal.append(&rec(1)).unwrap();
+        wal.sync().unwrap();
+        let (appended, syncs) = wal.counters();
+        assert_eq!((appended, syncs), (2, 1));
+        assert_eq!(wal.segment_stats().rotations, 1);
+    }
+
+    #[test]
+    fn rotate_on_empty_active_segment_is_a_noop() {
+        let wal = Wal::temp("w6c").unwrap();
+        wal.rotate().unwrap();
+        wal.rotate().unwrap();
+        assert_eq!(wal.segment_stats().rotations, 0);
+        assert_eq!(wal.segment_stats().segments, 1);
+        wal.append(&rec(0)).unwrap();
+        wal.rotate().unwrap();
+        wal.rotate().unwrap();
+        assert_eq!(wal.segment_stats().rotations, 1, "second rotate idles");
+    }
+
+    #[test]
     fn empty_log_iterates_empty() {
         let wal = Wal::temp("w7").unwrap();
         assert!(wal.iterate().unwrap().is_empty());
         assert_eq!(wal.next_lsn(), 0);
+    }
+
+    #[test]
+    fn readers_skip_segments_a_racing_truncation_unlinked() {
+        // iterate/raw_image snapshot the segment list under the lock but
+        // read the files outside it, so a concurrent truncate_before can
+        // unlink a snapshotted prefix segment mid-read. The reader must
+        // skip it (those records are below the new base) — not return an
+        // empty log, a truncated one, or an error.
+        let wal = Wal::temp("w8").unwrap();
+        for i in 0..4 {
+            wal.append(&rec(i)).unwrap();
+        }
+        wal.rotate().unwrap();
+        for i in 4..6 {
+            wal.append(&rec(i)).unwrap();
+        }
+        wal.sync().unwrap();
+        // Simulate the race window: the sealed segment's file vanishes
+        // while still being tracked in memory.
+        let first = segment::list_segments(wal.path()).unwrap().remove(0).1;
+        std::fs::remove_file(first).unwrap();
+        let records = wal.iterate().unwrap();
+        assert_eq!(records.len(), 2, "retained segment still readable");
+        assert_eq!(records[0], (4, rec(4)));
+        assert_eq!(records[1], (5, rec(5)));
+        let img = wal.raw_image().unwrap();
+        assert!(!img.is_empty(), "forensic dump survives the race too");
     }
 }

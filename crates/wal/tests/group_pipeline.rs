@@ -119,13 +119,17 @@ fn concurrent_commits_all_durable_with_fewer_fsyncs() {
 
 #[test]
 fn pipeline_commits_then_truncate_round_trip() {
-    // Group-committed records + checkpoint-style truncation: the retained
-    // suffix replays with correct LSNs through the streaming scanner.
+    // Group-committed records + checkpoint-style truncation: the engine
+    // rotates right before logging the Checkpoint record, so the record
+    // starts a fresh segment, every prior record lives in wholly-dead
+    // segments, and the retained suffix replays with correct LSNs through
+    // the streaming scanner.
     let wal = Arc::new(Wal::temp("gp-trunc").unwrap());
     let gc = GroupCommit::spawn(wal.clone(), GroupCommitConfig::default());
     for tx in 0..10 {
         gc.commit(batch(tx)).unwrap();
     }
+    wal.rotate().unwrap();
     let ckpt_lsn = gc
         .commit(vec![LogRecord::Checkpoint {
             at: Timestamp::micros(1),

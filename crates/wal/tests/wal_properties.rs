@@ -140,18 +140,53 @@ proptest! {
     }
 
     #[test]
-    fn truncation_drops_exact_prefix(
+    fn truncation_at_segment_boundary_drops_exact_prefix(
         records in proptest::collection::vec(arb_record(), 1..40),
         keep_at in any::<prop::sample::Index>(),
     ) {
+        // The engine rotates right before logging a checkpoint record, so
+        // the truncation cut always lands on a segment boundary — and then
+        // segment deletion drops *exactly* the dead prefix.
         let wal = Wal::temp("prop-trunc").unwrap();
-        for r in &records {
+        let keep_from = keep_at.index(records.len() + 1);
+        for r in &records[..keep_from] {
+            wal.append(r).unwrap();
+        }
+        wal.rotate().unwrap();
+        for r in &records[keep_from..] {
+            wal.append(r).unwrap();
+        }
+        wal.sync().unwrap();
+        let dropped = wal.truncate_before(keep_from as u64).unwrap();
+        prop_assert_eq!(dropped, keep_from as u64);
+        let back = wal.iterate().unwrap();
+        prop_assert_eq!(back.len(), records.len() - keep_from);
+        for (lsn, got) in &back {
+            prop_assert_eq!(got, &records[*lsn as usize]);
+        }
+    }
+
+    #[test]
+    fn truncation_deletes_only_whole_dead_segments(
+        records in proptest::collection::vec(arb_record(), 1..40),
+        chunk in 1usize..8,
+        keep_at in any::<prop::sample::Index>(),
+    ) {
+        // For an arbitrary cut, truncation frees whole dead segments and
+        // nothing more: no retained record is lost or rewritten, and the
+        // new base is exactly the first retained segment's first LSN.
+        let wal = Wal::temp("prop-trunc2").unwrap();
+        for (i, r) in records.iter().enumerate() {
+            if i > 0 && i % chunk == 0 {
+                wal.rotate().unwrap();
+            }
             wal.append(r).unwrap();
         }
         wal.sync().unwrap();
         let keep_from = keep_at.index(records.len() + 1) as u64;
         let dropped = wal.truncate_before(keep_from).unwrap();
-        prop_assert_eq!(dropped, keep_from.min(records.len() as u64));
+        prop_assert!(dropped <= keep_from);
+        prop_assert_eq!(wal.base_lsn(), dropped);
         let back = wal.iterate().unwrap();
         prop_assert_eq!(back.len() as u64, records.len() as u64 - dropped);
         for (lsn, got) in &back {

@@ -11,6 +11,14 @@
 //! HTML report. The numbers are honest wall-clock medians-of-small-samples:
 //! good enough for A/B comparisons inside one run, not for publication.
 //! Set `CRITERION_SHIM_SAMPLES` to override the sample count globally.
+//!
+//! When `CRITERION_SHIM_JSON` names a file, every benchmark result is
+//! also **appended** to it as one JSON object per line (NDJSON):
+//! `{"id": "...", "mean_ns": N, "min_ns": N, "samples": N}` plus an
+//! optional `"throughput_per_s"`. Appending lets several bench binaries
+//! in one `cargo bench` run share a single artifact — CI's bench lane
+//! collects it as `BENCH_wal.json` so the perf trajectory is recorded
+//! per PR.
 
 use std::fmt::{self, Display};
 use std::time::{Duration, Instant};
@@ -109,8 +117,13 @@ impl Bencher {
             .map(|_| {
                 let input = setup();
                 let start = Instant::now();
-                black_box(routine(input));
-                start.elapsed()
+                let out = black_box(routine(input));
+                let elapsed = start.elapsed();
+                // Like real criterion: the routine's output is dropped
+                // outside the timed window (an output owning files or
+                // big buffers would otherwise bill its cleanup here).
+                drop(out);
+                elapsed
             })
             .collect();
         self.record(&times);
@@ -126,8 +139,10 @@ impl Bencher {
             .map(|_| {
                 let mut input = setup();
                 let start = Instant::now();
-                black_box(routine(&mut input));
-                start.elapsed()
+                let out = black_box(routine(&mut input));
+                let elapsed = start.elapsed();
+                drop(out); // see iter_batched: output drop is untimed
+                elapsed
             })
             .collect();
         self.record(&times);
@@ -277,8 +292,75 @@ fn run_one<F: FnMut(&mut Bencher)>(
                 fmt_duration(mean),
                 fmt_duration(min)
             );
+            emit_json(&label, mean, min, samples, throughput);
         }
         None => println!("{label:<60} (no measurement: bencher never iterated)"),
+    }
+}
+
+/// Append one NDJSON result line to the `CRITERION_SHIM_JSON` file, if
+/// set. Labels come from bench code (no quoting hazards beyond the
+/// conservative escape below); failures to write are reported but never
+/// fail the bench.
+fn emit_json(
+    label: &str,
+    mean: Duration,
+    min: Duration,
+    samples: usize,
+    throughput: Option<Throughput>,
+) {
+    let Ok(path) = std::env::var("CRITERION_SHIM_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    emit_json_to(&path, label, mean, min, samples, throughput);
+}
+
+/// Testable core of [`emit_json`]: render the NDJSON line and append it.
+fn emit_json_to(
+    path: &str,
+    label: &str,
+    mean: Duration,
+    min: Duration,
+    samples: usize,
+    throughput: Option<Throughput>,
+) {
+    let escaped: String = label
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => vec![' '],
+            c => vec![c],
+        })
+        .collect();
+    let rate = throughput
+        .map(|t| {
+            let per_s = match t {
+                Throughput::Elements(n) | Throughput::Bytes(n) => {
+                    n as f64 / mean.as_secs_f64().max(f64::MIN_POSITIVE)
+                }
+            };
+            let unit = match t {
+                Throughput::Elements(_) => "elements",
+                Throughput::Bytes(_) => "bytes",
+            };
+            format!(",\"throughput_per_s\":{per_s:.1},\"throughput_unit\":\"{unit}\"")
+        })
+        .unwrap_or_default();
+    let line = format!(
+        "{{\"id\":\"{escaped}\",\"mean_ns\":{},\"min_ns\":{},\"samples\":{samples}{rate}}}\n",
+        mean.as_nanos(),
+        min.as_nanos(),
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("criterion shim: cannot append to {path}: {e}");
     }
 }
 
@@ -332,5 +414,44 @@ mod tests {
         c.bench_function("batched", |b| {
             b.iter_batched(|| vec![0u8; 16], |v| v.len(), BatchSize::SmallInput)
         });
+    }
+
+    #[test]
+    fn json_lines_append_and_parse() {
+        let path = std::env::temp_dir().join(format!(
+            "criterion-shim-json-{}-{:?}.ndjson",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let p = path.to_str().unwrap();
+        emit_json_to(
+            p,
+            "group/first/4",
+            Duration::from_nanos(1500),
+            Duration::from_nanos(1200),
+            10,
+            Some(Throughput::Elements(100)),
+        );
+        emit_json_to(
+            p,
+            "group/second \"quoted\"",
+            Duration::from_micros(2),
+            Duration::from_micros(1),
+            3,
+            None,
+        );
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2, "one NDJSON object per result, appended");
+        assert!(lines[0].starts_with("{\"id\":\"group/first/4\",\"mean_ns\":1500,"));
+        assert!(lines[0].contains("\"throughput_per_s\":"));
+        assert!(
+            lines[1].contains("\\\"quoted\\\""),
+            "quotes escaped: {}",
+            lines[1]
+        );
+        assert!(lines[1].ends_with("\"samples\":3}"));
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -81,6 +81,7 @@ pub mod prelude {
     pub use instant_lcp::gtree::{location_tree_fig1, GeneralizationTree};
     pub use instant_lcp::{AttributeLcp, Degrader, Hierarchy, RangeHierarchy, TupleLcp};
     pub use instant_storage::SecurePolicy;
+    pub use instant_wal::{SegmentConfig, SegmentStats};
     pub use instant_workload::attacker::SnapshotAttacker;
     pub use instant_workload::events::{EventStream, EventStreamConfig};
     pub use instant_workload::location::{LocationDomain, LocationShape};

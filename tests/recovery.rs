@@ -47,7 +47,9 @@ impl TempDbPath {
             let mut s = self.0.as_os_str().to_os_string();
             s.push(".");
             s.push(ext);
-            let _ = std::fs::remove_file(PathBuf::from(s));
+            let p = PathBuf::from(s);
+            let _ = std::fs::remove_file(&p);
+            let _ = std::fs::remove_dir_all(&p); // the WAL is a segment dir
         }
     }
 }
