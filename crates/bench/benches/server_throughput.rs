@@ -1,0 +1,98 @@
+//! Closed-loop multi-client commit throughput over the wire — the
+//! traffic shape the group-commit pipeline was built for, finally
+//! measured end to end (TCP framing + session dispatch + engine commit +
+//! shared fsync).
+//!
+//! `server_throughput/clients/N` runs N blocking clients, each issuing a
+//! stream of auto-commit `INSERT`s against one `instantdb-server`
+//! in-process instance. Every insert pays a real durability point, so
+//! the 1-client number is fsync-bound; with 4 and 8 clients the pipeline
+//! folds concurrent committers into shared drains and throughput (in
+//! elements/s) must rise well past the 1-client line — the CI bench lane
+//! records the three lines in `BENCH_server.json` and asserts exactly
+//! that shape.
+//!
+//! The per-commit-fsync engine baseline (no network) lives in
+//! `benches/group_commit.rs`; comparing the two artifacts bounds the
+//! serving overhead.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use instant_common::MockClock;
+use instant_core::query::HierarchyRegistry;
+use instant_core::{Db, DbConfig};
+use instant_server::{Client, Server, ServerConfig};
+
+/// Inserts per client per timed iteration.
+const PER_CLIENT: i64 = 50;
+
+fn start_server(workers: usize) -> Server {
+    let clock = MockClock::new();
+    let db = Arc::new(Db::open(DbConfig::default(), clock.shared()).unwrap());
+    Server::start(
+        db,
+        HierarchyRegistry::new(),
+        ServerConfig {
+            workers,
+            max_connections: 32,
+            queue_depth: 256,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+fn bench_server_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("server_throughput");
+    g.sample_size(10);
+    for &clients in &[1usize, 4, 8] {
+        // Workers ≥ clients so the pool never serializes the committers
+        // the pipeline is supposed to batch.
+        let server = start_server(clients.max(4));
+        let addr = server.local_addr().to_string();
+        let mut admin = Client::connect(&addr).unwrap();
+        admin
+            .query("CREATE TABLE events (id INT, note TEXT)")
+            .unwrap();
+        // Connections are established once, outside the timed window —
+        // the bench measures steady-state commit traffic, not dials.
+        let pool: Vec<Mutex<Client>> = (0..clients)
+            .map(|_| Mutex::new(Client::connect(&addr).unwrap()))
+            .collect();
+        let next_id = AtomicI64::new(0);
+        g.throughput(Throughput::Elements((clients as i64 * PER_CLIENT) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("clients", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| {
+                    std::thread::scope(|s| {
+                        for client in pool.iter().take(clients) {
+                            let next_id = &next_id;
+                            s.spawn(move || {
+                                let mut client = client.lock().unwrap();
+                                for _ in 0..PER_CLIENT {
+                                    let id = next_id.fetch_add(1, Ordering::Relaxed);
+                                    client
+                                        .query(&format!(
+                                            "INSERT INTO events VALUES ({id}, 'payload')"
+                                        ))
+                                        .unwrap();
+                                }
+                            });
+                        }
+                    });
+                });
+            },
+        );
+        drop(pool);
+        admin.close().unwrap();
+        server.shutdown().unwrap();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_server_throughput);
+criterion_main!(benches);

@@ -11,21 +11,19 @@
 //!
 //! Run: `cargo run --release -p instant-bench --bin exp_attack`
 
-use std::sync::Arc;
-
-use instant_bench::{f, Report};
+use instant_bench::{f, setup, Report};
 use instant_common::{Duration, MockClock, Timestamp};
-use instant_core::baseline::{protected_location_schema, Protection};
-use instant_core::db::{Db, DbConfig, WalMode};
+use instant_core::baseline::Protection;
+use instant_core::db::WalMode;
 use instant_lcp::AttributeLcp;
 use instant_workload::events::{EventStream, EventStreamConfig};
-use instant_workload::location::{LocationDomain, LocationShape};
+use instant_workload::location::LocationDomain;
 
 const SIM_DAYS: u64 = 14;
 const ACCURATE_STAGE: Duration = Duration::hours(6);
 
 fn main() {
-    let domain = LocationDomain::generate(LocationShape::default(), 0.9);
+    let domain = setup::location_domain();
     let periods = [
         ("1h", Duration::hours(1)),
         ("3h", Duration::hours(3)),
@@ -68,19 +66,6 @@ fn main() {
 
 fn run(domain: &LocationDomain, period: Duration) -> (usize, usize, usize) {
     let clock = MockClock::new();
-    let db = Arc::new(
-        Db::open(
-            DbConfig {
-                // This experiment measures store contents; logging off keeps
-                // the 60-day simulation fsync-free.
-                wal_mode: WalMode::Off,
-                buffer_frames: 8192,
-                ..DbConfig::default()
-            },
-            clock.shared(),
-        )
-        .unwrap(),
-    );
     let scheme = Protection::Degradation(
         AttributeLcp::from_pairs(&[
             (0, ACCURATE_STAGE),
@@ -89,8 +74,12 @@ fn run(domain: &LocationDomain, period: Duration) -> (usize, usize, usize) {
         ])
         .unwrap(),
     );
-    db.create_table(protected_location_schema("events", domain.hierarchy(), &scheme).unwrap())
-        .unwrap();
+    // Logging off keeps the multi-day simulation fsync-free; this
+    // experiment measures store contents only.
+    let db = setup::events_db(&clock, domain, &scheme, |cfg| {
+        cfg.wal_mode = WalMode::Off;
+        cfg.buffer_frames = 8192;
+    });
     let mut stream = EventStream::new(
         EventStreamConfig {
             events_per_hour: 20.0,

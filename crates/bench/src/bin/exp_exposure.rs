@@ -9,22 +9,20 @@
 //!
 //! Run: `cargo run --release -p instant-bench --bin exp_exposure`
 
-use std::sync::Arc;
-
-use instant_bench::{f, Report};
+use instant_bench::{f, setup, Report};
 use instant_common::{Duration, LevelId, MockClock, Timestamp};
-use instant_core::baseline::{protected_location_schema, Protection, FOREVER};
-use instant_core::db::{Db, DbConfig, WalMode};
+use instant_core::baseline::{Protection, FOREVER};
+use instant_core::db::WalMode;
 use instant_core::metrics::exposure_of_table;
 use instant_lcp::AttributeLcp;
 use instant_workload::events::{EventStream, EventStreamConfig};
-use instant_workload::location::{LocationDomain, LocationShape};
+use instant_workload::location::LocationDomain;
 
 const DAYS: u64 = 60;
 const SAMPLE_EVERY_DAYS: u64 = 5;
 
 fn main() {
-    let domain = LocationDomain::generate(LocationShape::default(), 0.9);
+    let domain = setup::location_domain();
     let schemes = vec![
         Protection::None,
         Protection::Retention(Duration::days(30)),
@@ -81,21 +79,12 @@ fn main() {
 
 fn run_scheme(domain: &LocationDomain, scheme: &Protection) -> (Vec<f64>, Vec<usize>) {
     let clock = MockClock::new();
-    let db = Arc::new(
-        Db::open(
-            DbConfig {
-                // This experiment measures store contents; logging off keeps
-                // the 60-day simulation fsync-free.
-                wal_mode: WalMode::Off,
-                buffer_frames: 8192,
-                ..DbConfig::default()
-            },
-            clock.shared(),
-        )
-        .unwrap(),
-    );
-    db.create_table(protected_location_schema("events", domain.hierarchy(), scheme).unwrap())
-        .unwrap();
+    // Logging off keeps the 60-day simulation fsync-free; this
+    // experiment measures store contents only.
+    let db = setup::events_db(&clock, domain, scheme, |cfg| {
+        cfg.wal_mode = WalMode::Off;
+        cfg.buffer_frames = 8192;
+    });
     let mut stream = EventStream::new(
         EventStreamConfig {
             events_per_hour: 30.0,

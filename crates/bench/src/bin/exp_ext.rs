@@ -11,35 +11,26 @@
 
 use std::sync::Arc;
 
-use instant_bench::{f, Report};
+use instant_bench::{f, setup, Report};
 use instant_common::{Duration, MockClock, Value};
-use instant_core::baseline::{protected_location_schema, Protection};
-use instant_core::db::{Db, DbConfig, WalMode};
+use instant_core::baseline::Protection;
+use instant_core::db::{Db, WalMode};
 use instant_core::ext::{degrade_where, insert_for_class, per_user_tables, PrivacyClass};
 use instant_core::metrics::total_exposure;
 use instant_core::query::session::{QuerySemantics, Session};
 use instant_lcp::AttributeLcp;
-use instant_workload::location::{LocationDomain, LocationShape};
+use instant_workload::location::LocationDomain;
 use instant_workload::rng::Rng;
 
 fn main() {
-    let domain = LocationDomain::generate(LocationShape::default(), 0.9);
+    let domain = setup::location_domain();
     event_triggered(&domain);
     strict_vs_relaxed(&domain);
     per_user(&domain);
 }
 
 fn mk_db(clock: &MockClock) -> Arc<Db> {
-    Arc::new(
-        Db::open(
-            DbConfig {
-                wal_mode: WalMode::Off,
-                ..DbConfig::default()
-            },
-            clock.shared(),
-        )
-        .unwrap(),
-    )
+    setup::open_db(clock, |cfg| cfg.wal_mode = WalMode::Off)
 }
 
 /// (a) sessions end (logout) long before the 6 h timer; an event trigger
@@ -55,7 +46,7 @@ fn event_triggered(domain: &LocationDomain) {
         let scheme = Protection::Degradation(
             AttributeLcp::from_pairs(&[(0, Duration::hours(6)), (3, Duration::days(30))]).unwrap(),
         );
-        db.create_table(protected_location_schema("events", domain.hierarchy(), &scheme).unwrap())
+        db.create_table(setup::events_schema(domain, &scheme))
             .unwrap();
         let mut rng = Rng::new(5);
         for i in 0..500 {

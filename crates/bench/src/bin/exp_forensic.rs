@@ -9,22 +9,20 @@
 //!
 //! Run: `cargo run --release -p instant-bench --bin exp_forensic`
 
-use std::sync::Arc;
-
-use instant_bench::Report;
+use instant_bench::{setup, Report};
 use instant_common::{Duration, MockClock, Value};
-use instant_core::baseline::{protected_location_schema, Protection};
-use instant_core::db::{Db, DbConfig, WalMode};
+use instant_core::baseline::Protection;
+use instant_core::db::WalMode;
 use instant_lcp::AttributeLcp;
 use instant_storage::SecurePolicy;
 use instant_workload::attacker::forensic_needles;
-use instant_workload::location::{LocationDomain, LocationShape};
+use instant_workload::location::LocationDomain;
 use instant_workload::rng::Rng;
 
 const TUPLES: usize = 500;
 
 fn main() {
-    let domain = LocationDomain::generate(LocationShape::default(), 0.9);
+    let domain = setup::location_domain();
     let mut r = Report::new(
         "E8 — forensic recovery of degraded values (500 tuples, fragment grep)",
         &[
@@ -67,23 +65,14 @@ fn run(
     wal_mode: WalMode,
 ) -> (usize, usize, usize, usize, usize) {
     let clock = MockClock::new();
-    let db = Arc::new(
-        Db::open(
-            DbConfig {
-                secure,
-                wal_mode,
-                buffer_frames: 2048,
-                ..DbConfig::default()
-            },
-            clock.shared(),
-        )
-        .unwrap(),
-    );
     let scheme = Protection::Degradation(
         AttributeLcp::from_pairs(&[(0, Duration::hours(1)), (2, Duration::days(30))]).unwrap(),
     );
-    db.create_table(protected_location_schema("events", domain.hierarchy(), &scheme).unwrap())
-        .unwrap();
+    let db = setup::events_db(&clock, domain, &scheme, |cfg| {
+        cfg.secure = secure;
+        cfg.wal_mode = wal_mode;
+        cfg.buffer_frames = 2048;
+    });
     let mut rng = Rng::new(99);
     let mut fragments: std::collections::HashSet<String> = Default::default();
     for i in 0..TUPLES {

@@ -11,16 +11,16 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use instant_bench::Report;
+use instant_bench::{setup, Report};
 use instant_common::{Clock, Duration, MockClock, Value};
-use instant_core::baseline::{protected_location_schema, Protection};
+use instant_core::baseline::Protection;
 use instant_core::db::{Db, DbConfig};
 use instant_lcp::{AttributeLcp, Degrader, Hierarchy};
-use instant_workload::location::{LocationDomain, LocationShape};
+use instant_workload::location::LocationDomain;
 use instant_workload::rng::Rng;
 
 fn main() {
-    let domain = LocationDomain::generate(LocationShape::default(), 0.9);
+    let domain = setup::location_domain();
     let mut r = Report::new(
         "E11 — recovery time vs post-checkpoint log (crash mid-degradation)",
         &[
@@ -61,7 +61,7 @@ fn run(domain: &LocationDomain, n: usize) -> (u64, usize, usize, usize, u128) {
     ])
     .unwrap();
     let scheme = Protection::Degradation(lcp.clone());
-    let schema = protected_location_schema("events", domain.hierarchy(), &scheme).unwrap();
+    let schema = setup::events_schema(domain, &scheme);
     let degrader = Degrader::new(domain.hierarchy(), lcp).unwrap();
 
     // Phase 1: work, checkpoint, more work, degrade, crash.

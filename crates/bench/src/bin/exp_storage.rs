@@ -8,32 +8,18 @@
 //!
 //! Run: `cargo run --release -p instant-bench --bin exp_storage`
 
-use std::sync::Arc;
-
-use instant_bench::Report;
+use instant_bench::{setup, Report};
 use instant_common::{Duration, MockClock, Timestamp, Value};
-use instant_core::baseline::{protected_location_schema, Protection};
-use instant_core::db::{Db, DbConfig, WalMode};
+use instant_core::baseline::Protection;
+use instant_core::db::WalMode;
 use instant_lcp::AttributeLcp;
 use instant_workload::events::{EventStream, EventStreamConfig};
-use instant_workload::location::{LocationDomain, LocationShape};
 
 const DAYS: u64 = 20;
 
 fn main() {
-    let domain = LocationDomain::generate(LocationShape::default(), 0.9);
+    let domain = setup::location_domain();
     let clock = MockClock::new();
-    let db = Arc::new(
-        Db::open(
-            DbConfig {
-                wal_mode: WalMode::Off,
-                buffer_frames: 8192,
-                ..DbConfig::default()
-            },
-            clock.shared(),
-        )
-        .unwrap(),
-    );
     // 3-day total lifetime → steady state ≈ 3 days of stream.
     let scheme = Protection::Degradation(
         AttributeLcp::from_pairs(&[
@@ -43,8 +29,10 @@ fn main() {
         ])
         .unwrap(),
     );
-    db.create_table(protected_location_schema("events", domain.hierarchy(), &scheme).unwrap())
-        .unwrap();
+    let db = setup::events_db(&clock, &domain, &scheme, |cfg| {
+        cfg.wal_mode = WalMode::Off;
+        cfg.buffer_frames = 8192;
+    });
     let table = db.catalog().get("events").unwrap();
 
     let mut stream = EventStream::new(

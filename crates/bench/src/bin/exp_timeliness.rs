@@ -9,21 +9,20 @@
 //!
 //! Run: `cargo run --release -p instant-bench --bin exp_timeliness`
 
-use std::sync::Arc;
 use std::time::Instant;
 
-use instant_bench::{rate, Report};
+use instant_bench::{rate, setup, Report};
 use instant_common::{Duration, MockClock, Value};
-use instant_core::baseline::{protected_location_schema, Protection};
-use instant_core::db::{Db, DbConfig, WalMode};
+use instant_core::baseline::Protection;
+use instant_core::db::WalMode;
 use instant_lcp::AttributeLcp;
-use instant_workload::location::{LocationDomain, LocationShape};
+use instant_workload::location::LocationDomain;
 use instant_workload::rng::Rng;
 
 const TUPLES: usize = 20_000;
 
 fn main() {
-    let domain = LocationDomain::generate(LocationShape::default(), 0.9);
+    let domain = setup::location_domain();
     let mut r = Report::new(
         "E7 — degradation throughput & lateness vs batch size \
          (20k due transitions, sealed WAL)",
@@ -78,23 +77,14 @@ fn run(
     wal_mode: WalMode,
 ) -> (u128, String, u64, String, String, String) {
     let clock = MockClock::new();
-    let db = Arc::new(
-        Db::open(
-            DbConfig {
-                batch_max: batch,
-                wal_mode,
-                buffer_frames: 4096,
-                ..DbConfig::default()
-            },
-            clock.shared(),
-        )
-        .unwrap(),
-    );
     let scheme = Protection::Degradation(
         AttributeLcp::from_pairs(&[(0, Duration::hours(1)), (3, Duration::days(30))]).unwrap(),
     );
-    db.create_table(protected_location_schema("events", domain.hierarchy(), &scheme).unwrap())
-        .unwrap();
+    let db = setup::events_db(&clock, domain, &scheme, |cfg| {
+        cfg.batch_max = batch;
+        cfg.wal_mode = wal_mode;
+        cfg.buffer_frames = 4096;
+    });
     let mut rng = Rng::new(1);
     for i in 0..TUPLES {
         let addr = domain.sample_address(&mut rng).to_string();

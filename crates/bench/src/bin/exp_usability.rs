@@ -18,21 +18,19 @@
 //!
 //! Run: `cargo run --release -p instant-bench --bin exp_usability`
 
-use std::sync::Arc;
-
-use instant_bench::Report;
+use instant_bench::{setup, Report};
 use instant_common::{Duration, LevelId, MockClock, Timestamp, Value};
-use instant_core::baseline::{protected_location_schema, Protection, FOREVER};
-use instant_core::db::{Db, DbConfig, WalMode};
+use instant_core::baseline::{Protection, FOREVER};
+use instant_core::db::WalMode;
 use instant_core::query::session::Session;
 use instant_lcp::AttributeLcp;
 use instant_workload::events::{EventStream, EventStreamConfig};
-use instant_workload::location::{LocationDomain, LocationShape};
+use instant_workload::location::LocationDomain;
 
 const SIM_DAYS: u64 = 45;
 
 fn main() {
-    let domain = LocationDomain::generate(LocationShape::default(), 0.9);
+    let domain = setup::location_domain();
     let schemes = vec![
         Protection::Retention(Duration::days(30)),
         Protection::StaticAnon(LevelId(2), FOREVER),
@@ -78,19 +76,10 @@ fn main() {
 
 fn run(domain: &LocationDomain, scheme: &Protection) -> (usize, usize, usize, usize) {
     let clock = MockClock::new();
-    let db = Arc::new(
-        Db::open(
-            DbConfig {
-                wal_mode: WalMode::Off,
-                buffer_frames: 8192,
-                ..DbConfig::default()
-            },
-            clock.shared(),
-        )
-        .unwrap(),
-    );
-    db.create_table(protected_location_schema("events", domain.hierarchy(), scheme).unwrap())
-        .unwrap();
+    let db = setup::events_db(&clock, domain, scheme, |cfg| {
+        cfg.wal_mode = WalMode::Off;
+        cfg.buffer_frames = 8192;
+    });
     let mut stream = EventStream::new(
         EventStreamConfig {
             events_per_hour: 15.0,

@@ -9,6 +9,8 @@ use std::fmt::Display;
 use std::io::Write;
 use std::path::PathBuf;
 
+pub mod setup;
+
 /// A simple aligned-column table printer for experiment output.
 #[derive(Debug, Default)]
 pub struct Report {

@@ -1,0 +1,81 @@
+//! Shared experiment scaffolding — the setup prologue every `exp_*`
+//! binary used to copy-paste: the synthetic location domain, the
+//! standard protected `events` table, and a tuned engine around it.
+//!
+//! Keeping this in one place means every experiment runs against the
+//! *same* world (domain shape, selectivity, table layout), so their
+//! numbers stay comparable across figures.
+
+use std::sync::Arc;
+
+use instant_common::MockClock;
+use instant_core::baseline::Protection;
+use instant_core::db::{Db, DbConfig};
+use instant_core::schema::TableSchema;
+use instant_workload::location::{LocationDomain, LocationShape};
+
+/// The experiments' shared synthetic location domain: default shape,
+/// 0.9 address-per-leaf fill.
+pub fn location_domain() -> LocationDomain {
+    LocationDomain::generate(LocationShape::default(), 0.9)
+}
+
+/// The standard `events` table protected by `scheme` (see
+/// [`instant_core::baseline::protected_location_schema`]).
+pub fn events_schema(domain: &LocationDomain, scheme: &Protection) -> TableSchema {
+    instant_core::baseline::protected_location_schema("events", domain.hierarchy(), scheme)
+        .expect("standard events schema is valid")
+}
+
+/// Open an engine on `clock` (config tuned by `tune`) with the standard
+/// `events` table already created. The default tuning favours long
+/// simulations: most experiments switch the WAL off and widen the pool —
+/// do that inside `tune`.
+pub fn events_db(
+    clock: &MockClock,
+    domain: &LocationDomain,
+    scheme: &Protection,
+    tune: impl FnOnce(&mut DbConfig),
+) -> Arc<Db> {
+    let db = open_db(clock, tune);
+    db.create_table(events_schema(domain, scheme))
+        .expect("create events table");
+    db
+}
+
+/// Open a bare engine on `clock`, config tuned by `tune` (no table).
+pub fn open_db(clock: &MockClock, tune: impl FnOnce(&mut DbConfig)) -> Arc<Db> {
+    let mut cfg = DbConfig::default();
+    tune(&mut cfg);
+    Arc::new(Db::open(cfg, clock.shared()).expect("open bench engine"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instant_common::{Duration, Value};
+    use instant_core::db::WalMode;
+    use instant_lcp::AttributeLcp;
+
+    #[test]
+    fn shared_prologue_builds_a_working_world() {
+        let domain = location_domain();
+        let clock = MockClock::new();
+        let scheme = Protection::Degradation(
+            AttributeLcp::from_pairs(&[(0, Duration::hours(1)), (3, Duration::days(30))]).unwrap(),
+        );
+        let db = events_db(&clock, &domain, &scheme, |cfg| {
+            cfg.wal_mode = WalMode::Off;
+            cfg.buffer_frames = 2048;
+        });
+        assert!(db.wal().is_none(), "tune closure applied");
+        let mut rng = instant_workload::rng::Rng::new(7);
+        let addr = domain.sample_address(&mut rng).to_string();
+        db.insert(
+            "events",
+            &[Value::Int(1), Value::Str("u1".into()), Value::Str(addr)],
+        )
+        .unwrap();
+        assert_eq!(db.catalog().get("events").unwrap().live_count().unwrap(), 1);
+    }
+}

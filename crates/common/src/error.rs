@@ -32,6 +32,9 @@ pub enum Error {
     Accuracy(String),
     /// Buffer pool exhausted or page capacity exceeded.
     Capacity(String),
+    /// The server shed this request under admission control (connection
+    /// limit reached or the worker queue is full). Retry after backoff.
+    ServerBusy(String),
     /// Feature intentionally outside the reproduced model.
     Unsupported(String),
 }
@@ -49,6 +52,7 @@ impl fmt::Display for Error {
             Error::Schema(m) => write!(f, "schema error: {m}"),
             Error::Accuracy(m) => write!(f, "accuracy level error: {m}"),
             Error::Capacity(m) => write!(f, "capacity exceeded: {m}"),
+            Error::ServerBusy(m) => write!(f, "server busy: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
         }
     }
@@ -70,9 +74,10 @@ impl From<std::io::Error> for Error {
 }
 
 impl Error {
-    /// True when retrying the transaction may succeed (wait-die aborts).
+    /// True when retrying the operation may succeed (wait-die aborts,
+    /// admission-control sheds).
     pub fn is_retryable(&self) -> bool {
-        matches!(self, Error::TxConflict(_))
+        matches!(self, Error::TxConflict(_) | Error::ServerBusy(_))
     }
 
     /// Short machine-readable class name, used by the experiment harness.
@@ -88,7 +93,31 @@ impl Error {
             Error::Schema(_) => "schema",
             Error::Accuracy(_) => "accuracy",
             Error::Capacity(_) => "capacity",
+            Error::ServerBusy(_) => "server_busy",
             Error::Unsupported(_) => "unsupported",
+        }
+    }
+
+    /// Reconstruct an error from its [`Error::class`] name plus a message
+    /// — the inverse used by wire protocols that ship errors as
+    /// `(class, message)` pairs. Unknown classes land in
+    /// [`Error::Unsupported`] so a newer server never crashes an older
+    /// client.
+    pub fn from_class(class: &str, message: &str) -> Error {
+        let m = message.to_string();
+        match class {
+            "io" => Error::Io(std::io::Error::other(m)),
+            "corrupt" => Error::Corrupt(m),
+            "not_found" => Error::NotFound(m),
+            "tx_conflict" => Error::TxConflict(m),
+            "tx_state" => Error::TxState(m),
+            "parse" => Error::Parse(m),
+            "policy" => Error::Policy(m),
+            "schema" => Error::Schema(m),
+            "accuracy" => Error::Accuracy(m),
+            "capacity" => Error::Capacity(m),
+            "server_busy" => Error::ServerBusy(m),
+            _ => Error::Unsupported(m),
         }
     }
 }
@@ -123,5 +152,34 @@ mod tests {
         assert_eq!(Error::Accuracy("k".into()).class(), "accuracy");
         assert_eq!(Error::Corrupt("c".into()).class(), "corrupt");
         assert_eq!(Error::Capacity("c".into()).class(), "capacity");
+        assert_eq!(Error::ServerBusy("q".into()).class(), "server_busy");
+    }
+
+    #[test]
+    fn from_class_round_trips_every_class() {
+        let all = [
+            Error::Io(std::io::Error::other("x")),
+            Error::Corrupt("x".into()),
+            Error::NotFound("x".into()),
+            Error::TxConflict("x".into()),
+            Error::TxState("x".into()),
+            Error::Parse("x".into()),
+            Error::Policy("x".into()),
+            Error::Schema("x".into()),
+            Error::Accuracy("x".into()),
+            Error::Capacity("x".into()),
+            Error::ServerBusy("x".into()),
+            Error::Unsupported("x".into()),
+        ];
+        for e in all {
+            let back = Error::from_class(e.class(), "msg");
+            assert_eq!(back.class(), e.class(), "{e:?}");
+        }
+        assert_eq!(Error::from_class("??", "m").class(), "unsupported");
+    }
+
+    #[test]
+    fn server_busy_is_retryable() {
+        assert!(Error::ServerBusy("shed".into()).is_retryable());
     }
 }

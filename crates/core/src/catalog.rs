@@ -469,6 +469,31 @@ impl Catalog {
         Ok(table)
     }
 
+    /// Remove a table from the catalog by name — the undo for error
+    /// paths where a just-executed CREATE could not be externalized
+    /// (e.g. a server's DDL-journal fsync failed) and the table must not
+    /// stay reachable. If the table holds the most recently allocated
+    /// id, the id is handed back so the sequence stays dense (recovery
+    /// re-derives ids from creation order); the caller must ensure no
+    /// concurrent CREATE can interleave (the server holds its DDL lock
+    /// across execute + journal + detach). Heap pages the table already
+    /// allocated are not reclaimed until restart.
+    pub fn detach_table(&self, name: &str) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        let mut tables = self.tables.write();
+        let table = tables
+            .remove(&key)
+            .ok_or_else(|| Error::NotFound(format!("table {name}")))?;
+        self.by_id.write().remove(&table.id());
+        let _ = self.next_id.compare_exchange(
+            table.id().0 + 1,
+            table.id().0,
+            std::sync::atomic::Ordering::SeqCst,
+            std::sync::atomic::Ordering::SeqCst,
+        );
+        Ok(())
+    }
+
     pub fn get(&self, name: &str) -> Result<Arc<Table>> {
         self.tables
             .read()

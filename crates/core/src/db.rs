@@ -86,6 +86,16 @@ pub struct DbConfig {
     /// checkpointer frees whole dead segments, never rewriting retained
     /// data.
     pub wal_segment_bytes: u64,
+    /// Cap on live WAL segments: when a commit observes more than this
+    /// many segment files on disk it forces an early checkpoint (which
+    /// truncates every wholly-dead segment), so the log's footprint stays
+    /// bounded even if the periodic
+    /// [`Checkpointer`](crate::daemon::Checkpointer) is off or slow.
+    /// Enforced *after* the commit is acknowledged — admission never
+    /// stalls behind the checkpoint of a competing committer (the check
+    /// is skipped while another checkpoint is already running). `None`
+    /// (default) leaves retention to explicit/background checkpoints.
+    pub wal_retention_segments: Option<u64>,
     /// Data directory prefix; `None` = ephemeral temp files.
     pub path: Option<PathBuf>,
     /// Key-derivation seed.
@@ -120,6 +130,7 @@ impl Default for DbConfig {
             wal_segment_bytes: profile
                 .wal_segment_bytes
                 .unwrap_or(instant_wal::segment::DEFAULT_SEGMENT_BYTES),
+            wal_retention_segments: None,
             path: None,
             key_seed: 0x1DB0_CAFE,
         }
@@ -178,6 +189,10 @@ pub struct DbStats {
     pub user_deletes: AtomicU64,
     pub degrader_lock_retries: AtomicU64,
     pub checkpoints: AtomicU64,
+    /// Checkpoints forced by [`DbConfig::wal_retention_segments`] that
+    /// failed; the triggering commit was already durable and is not
+    /// failed retroactively.
+    pub forced_checkpoint_failures: AtomicU64,
 }
 
 /// Result of one degradation pump.
@@ -415,6 +430,7 @@ impl Db {
         tx.commit()?;
         self.arm_transitions(&table, tid, &stored);
         self.stats.inserts.fetch_add(1, Ordering::Relaxed);
+        self.enforce_wal_retention();
         Ok(tid)
     }
 
@@ -474,6 +490,7 @@ impl Db {
         pending.finish()?;
         tx.commit()?;
         self.stats.user_deletes.fetch_add(1, Ordering::Relaxed);
+        self.enforce_wal_retention();
         Ok(())
     }
 
@@ -533,6 +550,7 @@ impl Db {
         pending.finish()?;
         tx.commit()?;
         self.stats.updates.fetch_add(1, Ordering::Relaxed);
+        self.enforce_wal_retention();
         Ok(())
     }
 
@@ -615,6 +633,7 @@ impl Db {
                 at: now,
             });
             self.commit_records(recs)?;
+            self.enforce_wal_retention();
         }
         tx.commit()?;
         Ok(report)
@@ -744,6 +763,24 @@ impl Db {
     /// can never persist a half-done unlogged user operation.
     pub fn checkpoint(&self) -> Result<()> {
         let _serial = self.ckpt_serial.lock();
+        self.checkpoint_serial_held()
+    }
+
+    /// Checkpoint iff no other checkpoint is in flight; returns whether
+    /// one ran. The retention enforcement below uses this so committers
+    /// observing an over-cap log don't pile up behind one checkpoint.
+    fn try_checkpoint(&self) -> Result<bool> {
+        match self.ckpt_serial.try_lock() {
+            Some(_serial) => {
+                self.checkpoint_serial_held()?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// [`Db::checkpoint`] body; caller holds `ckpt_serial`.
+    fn checkpoint_serial_held(&self) -> Result<()> {
         let ckpt_lsn = {
             let _excl = self.ckpt_gate.write();
             let now = self.now();
@@ -793,6 +830,30 @@ impl Db {
         }
         self.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Enforce [`DbConfig::wal_retention_segments`]: if the live segment
+    /// count exceeds the cap, force an early checkpoint (unless one is
+    /// already running — its truncation will bring the count back down).
+    /// Called at the end of every committed user/system operation, after
+    /// the commit is acknowledged, so the cap holds under a write burst
+    /// without any background daemon armed.
+    ///
+    /// Deliberately infallible from the caller's view: the operation this
+    /// rides on is already committed and acknowledged, so a failing
+    /// forced checkpoint must not convert that success into an error (a
+    /// caller retrying the "failed" insert would apply it twice). The
+    /// failure is counted in [`DbStats::forced_checkpoint_failures`] and
+    /// will resurface on the next explicit/background checkpoint.
+    fn enforce_wal_retention(&self) {
+        let (Some(cap), Some(wal)) = (self.cfg.wal_retention_segments, &self.wal) else {
+            return;
+        };
+        if wal.segment_stats().segments > cap.max(1) && self.try_checkpoint().is_err() {
+            self.stats
+                .forced_checkpoint_failures
+                .fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn render_meta(&self) -> String {
@@ -1379,6 +1440,59 @@ mod tests {
         assert_eq!(r1.fired, 3);
         let total = db.pump_degradation().unwrap();
         assert_eq!(total.fired, 7);
+    }
+
+    #[test]
+    fn wal_retention_cap_holds_under_write_burst() {
+        let clock = MockClock::new();
+        let cap = 3u64;
+        let db = Db::open(
+            DbConfig {
+                // Minimum-size segments rotate constantly; without the
+                // retention cap a 400-insert burst accumulates dozens of
+                // live segment files (verified by the control run below).
+                wal_segment_bytes: 1,
+                wal_retention_segments: Some(cap),
+                ..DbConfig::default()
+            },
+            clock.shared(),
+        )
+        .unwrap();
+        db.create_table(schema()).unwrap();
+        for i in 0..400 {
+            db.insert("person", &row(i, "4 rue Jussieu")).unwrap();
+            // One insert appends 3 small records and can rotate at most
+            // once, so right after enforcement the cap can be overshot by
+            // at most the segment the records landed in.
+            let segs = db.wal().unwrap().segment_stats().segments;
+            assert!(segs <= cap + 1, "live segments {segs} exceed cap {cap}");
+        }
+        let forced = db.stats().checkpoints.load(Ordering::Relaxed);
+        assert!(
+            forced >= 2,
+            "the cap must have forced early checkpoints, got {forced}"
+        );
+
+        // Control: the identical burst without the cap really does grow the
+        // segment population past it (i.e. the assertion above has teeth).
+        let db2 = Db::open(
+            DbConfig {
+                wal_segment_bytes: 1,
+                wal_retention_segments: None,
+                ..DbConfig::default()
+            },
+            clock.shared(),
+        )
+        .unwrap();
+        db2.create_table(schema()).unwrap();
+        for i in 0..400 {
+            db2.insert("person", &row(i, "4 rue Jussieu")).unwrap();
+        }
+        assert!(
+            db2.wal().unwrap().segment_stats().segments > cap + 1,
+            "control run without the cap should exceed it"
+        );
+        assert_eq!(db2.stats().checkpoints.load(Ordering::Relaxed), 0);
     }
 
     #[test]

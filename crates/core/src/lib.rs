@@ -49,5 +49,5 @@ pub mod tuple;
 pub use daemon::{CheckpointReport, Checkpointer, DegradationDaemon};
 pub use db::{Db, DbConfig, WalMode};
 pub use instant_wal::{GroupCommitConfig, GroupCommitStats};
-pub use query::session::Session;
+pub use query::session::{HierarchyRegistry, Session};
 pub use schema::{Column, ColumnKind, TableSchema};

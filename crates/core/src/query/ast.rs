@@ -109,6 +109,11 @@ pub enum Statement {
         name: String,
         items: Vec<AccuracyItem>,
     },
+    /// `CHECKPOINT` — flush, log a checkpoint record, shred old key
+    /// windows and truncate the dead WAL prefix. Added for served
+    /// deployments, where no caller can reach
+    /// [`Db::checkpoint`](crate::db::Db::checkpoint) directly.
+    Checkpoint,
 }
 
 #[cfg(test)]

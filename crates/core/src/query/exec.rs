@@ -50,6 +50,8 @@ pub enum QueryOutput {
     Rows(QueryResult),
     Deleted(usize),
     PurposeDeclared(String),
+    /// A `CHECKPOINT` completed (flush → log → shred → truncate).
+    Checkpointed,
 }
 
 impl QueryOutput {
@@ -92,18 +94,30 @@ pub fn run(session: &mut Session, stmt: Statement) -> Result<QueryOutput> {
             let n = delete(session, &table, predicate.as_ref())?;
             Ok(QueryOutput::Deleted(n))
         }
+        Statement::Checkpoint => {
+            session.db().checkpoint()?;
+            Ok(QueryOutput::Checkpointed)
+        }
         Statement::DeclarePurpose { .. } => unreachable!("handled by Session::run"),
     }
 }
 
 fn build_schema(session: &Session, name: &str, defs: &[ColumnDef]) -> Result<TableSchema> {
+    build_schema_with(session.hierarchies(), name, defs)
+}
+
+fn build_schema_with(
+    hierarchies: &crate::query::session::HierarchyRegistry,
+    name: &str,
+    defs: &[ColumnDef],
+) -> Result<TableSchema> {
     let mut columns = Vec::with_capacity(defs.len());
     for def in defs {
         let ty = instant_common::DataType::parse(&def.type_name)?;
         let mut col = match &def.degrade {
             None => Column::stable(&def.name, ty),
             Some(clause) => {
-                let h = session.hierarchy(&clause.hierarchy)?;
+                let h = hierarchies.get(&clause.hierarchy)?;
                 let lcp = instant_lcp::policy::parse_lcp(&clause.lcp_spec, Some(h.as_ref()))?;
                 Column::degradable(&def.name, ty, h, lcp)?
             }
@@ -114,6 +128,24 @@ fn build_schema(session: &Session, name: &str, defs: &[ColumnDef]) -> Result<Tab
         columns.push(col);
     }
     TableSchema::new(name, columns)
+}
+
+/// Build the [`TableSchema`] a `CREATE TABLE` statement describes without
+/// executing it — hierarchies resolve against `hierarchies`. This is the
+/// DDL-replay entry point: a server that persisted its `CREATE TABLE`
+/// statements rebuilds the schemas for
+/// [`Db::recover_with_schemas`](crate::db::Db::recover_with_schemas) from
+/// here, before any session exists.
+pub fn schema_for_create(
+    hierarchies: &crate::query::session::HierarchyRegistry,
+    sql: &str,
+) -> Result<TableSchema> {
+    match crate::query::parser::parse(sql)? {
+        Statement::CreateTable { name, columns } => build_schema_with(hierarchies, &name, &columns),
+        other => Err(Error::Parse(format!(
+            "expected CREATE TABLE, got {other:?}"
+        ))),
+    }
 }
 
 /// The per-degradable-column requested accuracy for this query.

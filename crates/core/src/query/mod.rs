@@ -20,4 +20,5 @@ pub mod parser;
 pub mod session;
 
 pub use ast::{ComparisonOp, Predicate, Statement};
-pub use exec::{QueryOutput, QueryResult};
+pub use exec::{schema_for_create, QueryOutput, QueryResult};
+pub use session::HierarchyRegistry;

@@ -3,7 +3,7 @@
 //! Grammar (keywords case-insensitive):
 //!
 //! ```text
-//! stmt        := create | insert | select | delete | declare
+//! stmt        := create | insert | select | delete | declare | checkpoint
 //! create      := CREATE TABLE name '(' coldef (',' coldef)* ')'
 //! coldef      := name type [DEGRADE USING ident LCP string] [INDEXED]
 //! insert      := INSERT INTO name VALUES tuple (',' tuple)*
@@ -14,6 +14,7 @@
 //! term        := col op literal | col LIKE string | col BETWEEN lit AND lit
 //! declare     := DECLARE PURPOSE name SET ACCURACY LEVEL item (',' item)*
 //! item        := leveltoken FOR [ident '.'] col
+//! checkpoint  := CHECKPOINT
 //! ```
 
 use instant_common::{Error, Result, Value};
@@ -132,6 +133,9 @@ impl Parser {
             self.delete()
         } else if t.is_kw("declare") {
             self.declare_purpose()
+        } else if t.is_kw("checkpoint") {
+            self.pos += 1;
+            Ok(Statement::Checkpoint)
         } else {
             Err(Error::Parse(format!("unsupported statement start: {t:?}")))
         }

@@ -39,10 +39,50 @@ pub struct Purpose {
     pub levels: HashMap<String, String>,
 }
 
+/// A shared name → hierarchy map backing `DEGRADE USING <name>`.
+///
+/// Cloning shares the underlying registry (it is an `Arc` inside), so a
+/// server can hand every connection's [`Session`] the same registry: a
+/// hierarchy registered once is visible to all of them, and DDL replayed
+/// at recovery resolves against the same names — see
+/// [`crate::query::exec::schema_for_create`].
+#[derive(Clone, Default)]
+pub struct HierarchyRegistry {
+    inner: Arc<parking_lot::RwLock<HashMap<String, Arc<dyn Hierarchy>>>>,
+}
+
+impl std::fmt::Debug for HierarchyRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<String> = self.inner.read().keys().cloned().collect();
+        names.sort();
+        f.debug_tuple("HierarchyRegistry").field(&names).finish()
+    }
+}
+
+impl HierarchyRegistry {
+    pub fn new() -> HierarchyRegistry {
+        HierarchyRegistry::default()
+    }
+
+    /// Register `h` under `name` (case-insensitive; last one wins).
+    pub fn register(&self, name: &str, h: Arc<dyn Hierarchy>) {
+        self.inner.write().insert(name.to_ascii_lowercase(), h);
+    }
+
+    /// Look up a hierarchy by (case-insensitive) name.
+    pub fn get(&self, name: &str) -> Result<Arc<dyn Hierarchy>> {
+        self.inner
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("hierarchy '{name}' not registered")))
+    }
+}
+
 /// An interactive session against a [`Db`].
 pub struct Session {
     db: Arc<Db>,
-    hierarchies: HashMap<String, Arc<dyn Hierarchy>>,
+    hierarchies: HierarchyRegistry,
     purposes: HashMap<String, Purpose>,
     active_purpose: Option<String>,
     semantics: QuerySemantics,
@@ -50,9 +90,15 @@ pub struct Session {
 
 impl Session {
     pub fn new(db: Arc<Db>) -> Session {
+        Session::with_registry(db, HierarchyRegistry::new())
+    }
+
+    /// A session sharing `registry` with other sessions (the served-engine
+    /// shape: one registry per server, one session per connection).
+    pub fn with_registry(db: Arc<Db>, registry: HierarchyRegistry) -> Session {
         Session {
             db,
-            hierarchies: HashMap::new(),
+            hierarchies: registry,
             purposes: HashMap::new(),
             active_purpose: None,
             semantics: QuerySemantics::Strict,
@@ -64,16 +110,19 @@ impl Session {
     }
 
     /// Register a domain hierarchy so `CREATE TABLE … DEGRADE USING <name>`
-    /// can reference it.
+    /// can reference it (in this session's registry — shared sessions see
+    /// it too).
     pub fn register_hierarchy(&mut self, name: &str, h: Arc<dyn Hierarchy>) {
-        self.hierarchies.insert(name.to_ascii_lowercase(), h);
+        self.hierarchies.register(name, h);
     }
 
     pub fn hierarchy(&self, name: &str) -> Result<Arc<dyn Hierarchy>> {
-        self.hierarchies
-            .get(&name.to_ascii_lowercase())
-            .cloned()
-            .ok_or_else(|| Error::NotFound(format!("hierarchy '{name}' not registered")))
+        self.hierarchies.get(name)
+    }
+
+    /// The session's hierarchy registry (shared handle).
+    pub fn hierarchies(&self) -> &HierarchyRegistry {
+        &self.hierarchies
     }
 
     /// Switch strict/relaxed semantics (the E13 ablation toggle).

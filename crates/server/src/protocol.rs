@@ -1,0 +1,443 @@
+//! The wire protocol: length-prefixed frames with a versioned handshake.
+//!
+//! Every frame on the wire is
+//!
+//! ```text
+//! ┌──────────────┬───────────┬──────────────────┐
+//! │ len: u32 LE  │ kind: u8  │ body (len-1 B)   │
+//! └──────────────┴───────────┴──────────────────┘
+//! ```
+//!
+//! where `len` counts the kind byte plus the body. A connection starts
+//! with a `Hello` exchange: the client's `Hello` carries the 4-byte magic
+//! `IDBW` and the protocol version, the server answers with its own
+//! `Hello` (version + banner) or an `Error` frame and closes. After the
+//! handshake the client sends `Query`/`Ping`/`Close` frames and the
+//! server answers each with `ResultSet`/`Error`/`Pong`.
+//!
+//! `Error` frames are *typed*: they carry the engine error's
+//! [`class`](instant_common::Error::class) name plus the display message,
+//! and the client rebuilds the matching [`Error`] variant with
+//! [`Error::from_class`] — so `SELEKT …` surfaces as [`Error::Parse`] on
+//! the client exactly as it would embedded, and an admission-control shed
+//! surfaces as [`Error::ServerBusy`].
+//!
+//! Frames larger than the reader's limit are rejected without being read
+//! (the length prefix alone condemns them); since the stream position is
+//! then unknowable, the connection must close after the typed error.
+//! Values inside a `ResultSet` reuse the storage codec
+//! ([`instant_common::codec`]) — one value encoding for heap, WAL and
+//! wire.
+
+use std::io::{Read, Write};
+
+use instant_common::codec::{decode_row, encode_row, raw};
+use instant_common::{Error, Result};
+use instant_core::query::{QueryOutput, QueryResult};
+
+/// Handshake magic: identifies the InstantDB wire protocol.
+pub const MAGIC: [u8; 4] = *b"IDBW";
+/// Protocol version spoken by this build.
+pub const PROTOCOL_VERSION: u8 = 1;
+/// Default cap on one frame's `len` field (kind + body).
+pub const DEFAULT_MAX_FRAME_BYTES: u32 = 4 * 1024 * 1024;
+
+const KIND_HELLO: u8 = 1;
+const KIND_QUERY: u8 = 2;
+const KIND_RESULT: u8 = 3;
+const KIND_ERROR: u8 = 4;
+const KIND_PING: u8 = 5;
+const KIND_PONG: u8 = 6;
+const KIND_CLOSE: u8 = 7;
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Handshake, both directions: magic + version + free-form banner.
+    Hello { version: u8, banner: String },
+    /// One SQL statement (client → server).
+    Query { sql: String },
+    /// A statement's output (server → client).
+    ResultSet(QueryOutput),
+    /// A typed error: [`Error::class`] name + display message.
+    Error { class: String, message: String },
+    /// Liveness probe (client → server).
+    Ping,
+    /// Probe answer (server → client).
+    Pong,
+    /// Graceful end of session (client → server); the server closes the
+    /// connection without a reply.
+    Close,
+}
+
+impl Frame {
+    /// The typed-error frame for an engine error.
+    pub fn error(e: &Error) -> Frame {
+        Frame::Error {
+            class: e.class().to_string(),
+            message: e.to_string(),
+        }
+    }
+
+    /// Rebuild the engine error a received [`Frame::Error`] carries.
+    pub fn to_engine_error(class: &str, message: &str) -> Error {
+        Error::from_class(class, message)
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            Frame::Hello { version, banner } => {
+                out.push(KIND_HELLO);
+                out.extend_from_slice(&MAGIC);
+                out.push(*version);
+                raw::put_bytes(&mut out, banner.as_bytes());
+            }
+            Frame::Query { sql } => {
+                out.push(KIND_QUERY);
+                raw::put_bytes(&mut out, sql.as_bytes());
+            }
+            Frame::ResultSet(output) => {
+                out.push(KIND_RESULT);
+                encode_output(output, &mut out);
+            }
+            Frame::Error { class, message } => {
+                out.push(KIND_ERROR);
+                raw::put_bytes(&mut out, class.as_bytes());
+                raw::put_bytes(&mut out, message.as_bytes());
+            }
+            Frame::Ping => out.push(KIND_PING),
+            Frame::Pong => out.push(KIND_PONG),
+            Frame::Close => out.push(KIND_CLOSE),
+        }
+        out
+    }
+
+    fn decode(payload: &[u8]) -> Result<Frame> {
+        let (&kind, mut body) = payload
+            .split_first()
+            .ok_or_else(|| Error::Corrupt("empty frame".into()))?;
+        let frame = match kind {
+            KIND_HELLO => {
+                let magic: Vec<u8> = take(&mut body, 4)?.to_vec();
+                if magic != MAGIC {
+                    return Err(Error::Corrupt("bad handshake magic".into()));
+                }
+                let version = take(&mut body, 1)?[0];
+                Frame::Hello {
+                    version,
+                    banner: get_string(&mut body)?,
+                }
+            }
+            KIND_QUERY => Frame::Query {
+                sql: get_string(&mut body)?,
+            },
+            KIND_RESULT => Frame::ResultSet(decode_output(&mut body)?),
+            KIND_ERROR => Frame::Error {
+                class: get_string(&mut body)?,
+                message: get_string(&mut body)?,
+            },
+            KIND_PING => Frame::Ping,
+            KIND_PONG => Frame::Pong,
+            KIND_CLOSE => Frame::Close,
+            other => return Err(Error::Corrupt(format!("unknown frame kind {other}"))),
+        };
+        if !body.is_empty() {
+            return Err(Error::Corrupt(format!(
+                "{} trailing bytes after frame",
+                body.len()
+            )));
+        }
+        Ok(frame)
+    }
+}
+
+const OUT_TABLE_CREATED: u8 = 0;
+const OUT_INSERTED: u8 = 1;
+const OUT_ROWS: u8 = 2;
+const OUT_DELETED: u8 = 3;
+const OUT_PURPOSE: u8 = 4;
+const OUT_CHECKPOINTED: u8 = 5;
+
+fn encode_output(output: &QueryOutput, out: &mut Vec<u8>) {
+    match output {
+        QueryOutput::TableCreated(name) => {
+            out.push(OUT_TABLE_CREATED);
+            raw::put_bytes(out, name.as_bytes());
+        }
+        QueryOutput::Inserted(n) => {
+            out.push(OUT_INSERTED);
+            raw::put_u64(out, *n as u64);
+        }
+        QueryOutput::Rows(r) => {
+            out.push(OUT_ROWS);
+            raw::put_u32(out, r.columns.len() as u32);
+            for c in &r.columns {
+                raw::put_bytes(out, c.as_bytes());
+            }
+            raw::put_u32(out, r.rows.len() as u32);
+            for row in &r.rows {
+                encode_row(row, out);
+            }
+            raw::put_bytes(out, r.plan.as_bytes());
+        }
+        QueryOutput::Deleted(n) => {
+            out.push(OUT_DELETED);
+            raw::put_u64(out, *n as u64);
+        }
+        QueryOutput::PurposeDeclared(name) => {
+            out.push(OUT_PURPOSE);
+            raw::put_bytes(out, name.as_bytes());
+        }
+        QueryOutput::Checkpointed => out.push(OUT_CHECKPOINTED),
+    }
+}
+
+fn decode_output(buf: &mut &[u8]) -> Result<QueryOutput> {
+    let tag = take(buf, 1)?[0];
+    Ok(match tag {
+        OUT_TABLE_CREATED => QueryOutput::TableCreated(get_string(buf)?),
+        OUT_INSERTED => QueryOutput::Inserted(raw::get_u64(buf)? as usize),
+        OUT_ROWS => {
+            let ncols = raw::get_u32(buf)? as usize;
+            // Clamp pre-allocations to defend against a corrupt/hostile
+            // count field demanding gigabytes; pushes still grow past it.
+            let mut columns = Vec::with_capacity(ncols.min(1024));
+            for _ in 0..ncols {
+                columns.push(get_string(buf)?);
+            }
+            let nrows = raw::get_u32(buf)? as usize;
+            let mut rows = Vec::with_capacity(nrows.min(1024));
+            for _ in 0..nrows {
+                rows.push(decode_row(buf)?);
+            }
+            QueryOutput::Rows(QueryResult {
+                columns,
+                rows,
+                plan: get_string(buf)?,
+            })
+        }
+        OUT_DELETED => QueryOutput::Deleted(raw::get_u64(buf)? as usize),
+        OUT_PURPOSE => QueryOutput::PurposeDeclared(get_string(buf)?),
+        OUT_CHECKPOINTED => QueryOutput::Checkpointed,
+        other => return Err(Error::Corrupt(format!("unknown output tag {other}"))),
+    })
+}
+
+/// Write one frame (length prefix + payload) and flush it. A payload
+/// that cannot be described by the u32 length prefix is refused with
+/// [`Error::Capacity`] — truncating the prefix would desynchronize the
+/// peer's framing.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<()> {
+    write_payload(w, &frame.encode())
+}
+
+/// Length-prefix + payload + flush — the one place framing is written.
+fn write_payload(w: &mut impl Write, payload: &[u8]) -> Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| Error::Capacity(format!("frame of {} bytes overflows u32", payload.len())))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// [`write_frame`], but a frame larger than `max_frame_bytes` is
+/// replaced on the wire by a typed `capacity` [`Frame::Error`] (the
+/// peer's `read_frame` would refuse the oversized frame anyway and have
+/// to drop the connection — a typed error keeps it alive and pairs with
+/// the request). Returns whether the original frame fit.
+pub fn write_frame_capped(w: &mut impl Write, frame: &Frame, max_frame_bytes: u32) -> Result<bool> {
+    let payload = frame.encode();
+    if payload.len() as u64 > u64::from(max_frame_bytes) {
+        let e = Error::Capacity(format!(
+            "response frame of {} bytes exceeds the {max_frame_bytes}-byte limit; \
+             narrow the query",
+            payload.len()
+        ));
+        write_frame(w, &Frame::error(&e))?;
+        return Ok(false);
+    }
+    write_payload(w, &payload)?;
+    Ok(true)
+}
+
+/// Read one frame. `Ok(None)` on a clean disconnect at a frame boundary.
+/// A `len` above `max_frame_bytes` yields [`Error::Capacity`] *without
+/// reading the body* — the caller should answer with a typed error and
+/// close, since the stream position is no longer trustworthy.
+pub fn read_frame(r: &mut impl Read, max_frame_bytes: u32) -> Result<Option<Frame>> {
+    let Some(len) = read_len(r)? else {
+        return Ok(None);
+    };
+    if len == 0 {
+        return Err(Error::Corrupt("zero-length frame".into()));
+    }
+    if len > max_frame_bytes {
+        return Err(Error::Capacity(format!(
+            "frame of {len} bytes exceeds the {max_frame_bytes}-byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)
+        .map_err(|e| truncated_as_corrupt(e, "frame body"))?;
+    Frame::decode(&payload).map(Some)
+}
+
+/// Read the 4-byte length prefix; `Ok(None)` when the peer closed before
+/// sending any of it (clean end of session).
+fn read_len(r: &mut impl Read) -> Result<Option<u32>> {
+    let mut buf = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        let n = r.read(&mut buf[got..])?;
+        if n == 0 {
+            if got == 0 {
+                return Ok(None);
+            }
+            return Err(Error::Corrupt("disconnect inside frame length".into()));
+        }
+        got += n;
+    }
+    Ok(Some(u32::from_le_bytes(buf)))
+}
+
+fn truncated_as_corrupt(e: std::io::Error, what: &str) -> Error {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        Error::Corrupt(format!("disconnect inside {what}"))
+    } else {
+        Error::Io(e)
+    }
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8]> {
+    if buf.len() < n {
+        return Err(Error::Corrupt(format!(
+            "truncated frame: need {n} bytes, have {}",
+            buf.len()
+        )));
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+fn get_string(buf: &mut &[u8]) -> Result<String> {
+    let bytes = raw::get_bytes(buf)?;
+    String::from_utf8(bytes).map_err(|_| Error::Corrupt("non-utf8 string in frame".into()))
+}
+
+/// The client's opening handshake frame.
+pub fn client_hello(banner: &str) -> Frame {
+    Frame::Hello {
+        version: PROTOCOL_VERSION,
+        banner: banner.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instant_common::Value;
+
+    fn round_trip(frame: Frame) -> Frame {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        let mut cursor = wire.as_slice();
+        let back = read_frame(&mut cursor, DEFAULT_MAX_FRAME_BYTES)
+            .unwrap()
+            .unwrap();
+        assert!(cursor.is_empty(), "frame fully consumed");
+        back
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let frames = vec![
+            client_hello("test-client"),
+            Frame::Query {
+                sql: "SELECT * FROM person".into(),
+            },
+            Frame::ResultSet(QueryOutput::TableCreated("person".into())),
+            Frame::ResultSet(QueryOutput::Inserted(3)),
+            Frame::ResultSet(QueryOutput::Deleted(0)),
+            Frame::ResultSet(QueryOutput::PurposeDeclared("STAT".into())),
+            Frame::ResultSet(QueryOutput::Checkpointed),
+            Frame::ResultSet(QueryOutput::Rows(QueryResult {
+                columns: vec!["id".into(), "location".into()],
+                rows: vec![
+                    vec![Value::Int(1), Value::Str("Paris".into())],
+                    vec![Value::Int(2), Value::Removed],
+                ],
+                plan: "scan(person)".into(),
+            })),
+            Frame::error(&Error::Parse("unexpected token".into())),
+            Frame::Ping,
+            Frame::Pong,
+            Frame::Close,
+        ];
+        for f in frames {
+            assert_eq!(round_trip(f.clone()), f, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn error_frame_preserves_type() {
+        let e = Error::ServerBusy("queue full".into());
+        let Frame::Error { class, message } = round_trip(Frame::error(&e)) else {
+            panic!("expected error frame")
+        };
+        let back = Frame::to_engine_error(&class, &message);
+        assert!(matches!(back, Error::ServerBusy(_)), "{back:?}");
+        assert!(back.to_string().contains("queue full"));
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_body_read() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        // No body at all: the length alone must condemn the frame.
+        let err = read_frame(&mut wire.as_slice(), 1024).unwrap_err();
+        assert!(matches!(err, Error::Capacity(_)), "{err:?}");
+    }
+
+    #[test]
+    fn clean_disconnect_is_none_and_partial_is_corrupt() {
+        assert!(read_frame(&mut (&[] as &[u8]), 1024).unwrap().is_none());
+        let err = read_frame(&mut (&[1u8, 2][..]), 1024).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "{err:?}");
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Ping).unwrap();
+        wire.truncate(wire.len() - 1);
+        // An empty-body frame can't be truncated below its kind byte; use
+        // a query instead for a mid-body cut.
+        let mut wire = Vec::new();
+        write_frame(
+            &mut wire,
+            &Frame::Query {
+                sql: "SELECT 1".into(),
+            },
+        )
+        .unwrap();
+        wire.truncate(wire.len() - 3);
+        let err = read_frame(&mut wire.as_slice(), 1024).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "{err:?}");
+    }
+
+    #[test]
+    fn bad_magic_and_unknown_kind_rejected() {
+        let mut payload = vec![1u8]; // Hello kind
+        payload.extend_from_slice(b"NOPE");
+        payload.push(PROTOCOL_VERSION);
+        raw::put_bytes(&mut payload, b"x");
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        wire.extend_from_slice(&payload);
+        assert!(read_frame(&mut wire.as_slice(), 1024).is_err());
+
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.push(0xEE);
+        assert!(read_frame(&mut wire.as_slice(), 1024).is_err());
+    }
+}

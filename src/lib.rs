@@ -51,12 +51,14 @@
 //! | [`index`] | B+-tree, bitmap, multi-level index |
 //! | [`tx`] | 2PL locks, wait-die, transactions |
 //! | [`core`] | catalog, scheduler, SQL, the [`prelude::Db`] engine |
+//! | [`server`] | TCP front-end: wire protocol, session pool, admission control |
 //! | [`workload`] | generators and attacker models |
 
 pub use instant_common as common;
 pub use instant_core as core;
 pub use instant_index as index;
 pub use instant_lcp as lcp;
+pub use instant_server as server;
 pub use instant_storage as storage;
 pub use instant_tx as tx;
 pub use instant_wal as wal;
@@ -75,11 +77,14 @@ pub mod prelude {
         exposure_of_db, exposure_of_table, total_exposure, wal_stats, WalStats,
     };
     pub use instant_core::query::exec::{QueryOutput, QueryResult};
-    pub use instant_core::query::session::{QuerySemantics, Session};
+    pub use instant_core::query::session::{HierarchyRegistry, QuerySemantics, Session};
     pub use instant_core::schema::{Column, ColumnKind, TableSchema};
     pub use instant_core::{GroupCommitConfig, GroupCommitStats};
     pub use instant_lcp::gtree::{location_tree_fig1, GeneralizationTree};
     pub use instant_lcp::{AttributeLcp, Degrader, Hierarchy, RangeHierarchy, TupleLcp};
+    pub use instant_server::{
+        server_stats, Client, ClientConfig, Server, ServerConfig, ServerStats,
+    };
     pub use instant_storage::SecurePolicy;
     pub use instant_wal::{SegmentConfig, SegmentStats};
     pub use instant_workload::attacker::SnapshotAttacker;

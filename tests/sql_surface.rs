@@ -235,3 +235,25 @@ fn like_patterns_edgecases() {
     assert_eq!(count(&mut s, "SELECT * FROM t WHERE name LIKE 'BOB'"), 1);
     assert_eq!(count(&mut s, "SELECT * FROM t WHERE name LIKE '%x%'"), 0);
 }
+
+#[test]
+fn checkpoint_statement_truncates_log_via_sql() {
+    // Served deployments reach Db::checkpoint only through SQL, so the
+    // statement must do the whole flush → log → shred → truncate cycle.
+    let (_c, mut s) = fresh();
+    s.execute("CREATE TABLE t (id INT)").unwrap();
+    s.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+    let out = s.execute("CHECKPOINT").unwrap();
+    assert!(matches!(out, QueryOutput::Checkpointed));
+    let db = s.db().clone();
+    let records = db.wal().unwrap().iterate().unwrap();
+    assert_eq!(records.len(), 1, "only the checkpoint record remains");
+    let stats = wal_stats(&db);
+    assert_eq!(stats.checkpoints, 1);
+    assert!(stats.truncated_bytes > 0);
+    // And the statement parses with a trailing semicolon too.
+    assert!(matches!(
+        s.execute("CHECKPOINT;").unwrap(),
+        QueryOutput::Checkpointed
+    ));
+}
