@@ -71,8 +71,8 @@ impl Report {
     /// Print to stdout and also write a CSV next to the binary's cwd under
     /// `results/<slug>.csv` (best-effort).
     pub fn emit(&self, slug: &str) {
-        print!("{}", self.render());
-        println!();
+        print!("{}", self.render()); // lint:allow(L005, the bench harness reports to the operator console by contract)
+        println!(); // lint:allow(L005, the bench harness reports to the operator console by contract)
         let _ = self.write_csv(slug);
     }
 

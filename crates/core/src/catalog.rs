@@ -28,8 +28,8 @@ pub struct Table {
     id: TableId,
     schema: TableSchema,
     heap: HeapFile,
-    deg_indexes: RwLock<HashMap<ColumnId, MultiLevelIndex>>,
-    stable_indexes: RwLock<HashMap<ColumnId, BPlusTree>>,
+    deg_indexes: RwLock<HashMap<ColumnId, MultiLevelIndex>>, // lock-rank: 320
+    stable_indexes: RwLock<HashMap<ColumnId, BPlusTree>>,    // lock-rank: 330
 }
 
 impl std::fmt::Debug for Table {
@@ -68,8 +68,8 @@ impl Table {
             id,
             schema,
             heap: HeapFile::create(pool, policy),
-            deg_indexes: RwLock::new(deg),
-            stable_indexes: RwLock::new(stable),
+            deg_indexes: RwLock::ranked(320, deg),
+            stable_indexes: RwLock::ranked(330, stable),
         }
     }
 
@@ -102,8 +102,8 @@ impl Table {
             id,
             schema,
             heap: HeapFile::attach(pool, pages, policy),
-            deg_indexes: RwLock::new(deg),
-            stable_indexes: RwLock::new(stable),
+            deg_indexes: RwLock::ranked(320, deg),
+            stable_indexes: RwLock::ranked(330, stable),
         }
     }
 
@@ -132,7 +132,7 @@ impl Table {
         let mut stored_row = row.to_vec();
         for cid in &deg_cols {
             let col = self.schema.column(*cid);
-            let d = col.degrader().expect("degradable");
+            let d = col.degrader().expect("degradable"); // lint:allow(L001, column from degradable_columns() always has a degrader)
             let level = d.lcp().stages()[0].level;
             stored_row[cid.0 as usize] = d.hierarchy().generalize(&row[cid.0 as usize], level)?;
         }
@@ -145,7 +145,7 @@ impl Table {
             for cid in &deg_cols {
                 if let Some(idx) = deg.get_mut(cid) {
                     let col = self.schema.column(*cid);
-                    let d = col.degrader().expect("degradable");
+                    let d = col.degrader().expect("degradable"); // lint:allow(L001, column from degradable_columns() always has a degrader)
                     let level = d.lcp().stages()[0].level;
                     idx.insert_at(level, &stored_row[cid.0 as usize], tid)?;
                 }
@@ -217,7 +217,7 @@ impl Table {
                 if let Some(idx) = deg.get_mut(cid) {
                     if let Some(stage) = tuple.stages[slot] {
                         let col = self.schema.column(*cid);
-                        let d = col.degrader().expect("degradable");
+                        let d = col.degrader().expect("degradable"); // lint:allow(L001, column from degradable_columns() always has a degrader)
                         let level = d.lcp().stages()[stage as usize].level;
                         idx.remove_at(level, &tuple.row[cid.0 as usize], tid)?;
                     }
@@ -267,7 +267,7 @@ impl Table {
             if let (Some(idx), Some(stage)) =
                 (deg.get_mut(cid), tuple.stages.get(slot).copied().flatten())
             {
-                let d = self.schema.column(*cid).degrader().expect("degradable");
+                let d = self.schema.column(*cid).degrader().expect("degradable"); // lint:allow(L001, column from degradable_columns() always has a degrader)
                 let level = d.lcp().stages()[stage as usize].level;
                 idx.insert_at(level, &tuple.row[cid.0 as usize], tid)?;
             }
@@ -288,7 +288,7 @@ impl Table {
             if let (Some(idx), Some(stage)) =
                 (deg.get_mut(cid), tuple.stages.get(slot).copied().flatten())
             {
-                let d = self.schema.column(*cid).degrader().expect("degradable");
+                let d = self.schema.column(*cid).degrader().expect("degradable"); // lint:allow(L001, column from degradable_columns() always has a degrader)
                 let level = d.lcp().stages()[stage as usize].level;
                 idx.remove_at(level, &tuple.row[cid.0 as usize], tid)?;
             }
@@ -388,7 +388,7 @@ impl Table {
         for (tid, tuple) in self.scan()? {
             for (slot, cid) in deg_cols.iter().enumerate() {
                 if let (Some(idx), Some(stage)) = (deg.get_mut(cid), tuple.stages[slot]) {
-                    let d = self.schema.column(*cid).degrader().expect("degradable");
+                    let d = self.schema.column(*cid).degrader().expect("degradable"); // lint:allow(L001, column from degradable_columns() always has a degrader)
                     let level = d.lcp().stages()[stage as usize].level;
                     idx.insert_at(level, &tuple.row[cid.0 as usize], tid)?;
                 }
@@ -402,18 +402,24 @@ impl Table {
 }
 
 /// Name → table registry.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Catalog {
-    tables: RwLock<HashMap<String, Arc<Table>>>,
-    by_id: RwLock<HashMap<TableId, Arc<Table>>>,
+    tables: RwLock<HashMap<String, Arc<Table>>>, // lock-rank: 300
+    by_id: RwLock<HashMap<TableId, Arc<Table>>>, // lock-rank: 310
     next_id: std::sync::atomic::AtomicU32,
+}
+
+impl Default for Catalog {
+    fn default() -> Catalog {
+        Catalog::new()
+    }
 }
 
 impl Catalog {
     pub fn new() -> Catalog {
         Catalog {
-            tables: RwLock::new(HashMap::new()),
-            by_id: RwLock::new(HashMap::new()),
+            tables: RwLock::ranked(300, HashMap::new()),
+            by_id: RwLock::ranked(310, HashMap::new()),
             next_id: std::sync::atomic::AtomicU32::new(1),
         }
     }

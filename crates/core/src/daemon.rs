@@ -45,29 +45,31 @@ struct DaemonCore<R> {
 }
 
 impl<R: Send + 'static> DaemonCore<R> {
-    fn spawn<F>(name: &str, tick: StdDuration, init: R, mut step: F) -> DaemonCore<R>
+    /// Fails only if the OS cannot spawn the thread (resource exhaustion);
+    /// the caller surfaces that as a typed error instead of panicking.
+    fn spawn<F>(name: &str, tick: StdDuration, init: R, mut step: F) -> Result<DaemonCore<R>>
     where
         F: FnMut(&mut R) -> Result<()> + Send + 'static,
     {
         let stop = Arc::new(AtomicBool::new(false));
         let flag = stop.clone();
-        let handle = std::thread::Builder::new()
-            .name(name.into())
-            .spawn(move || -> Result<R> {
-                let mut state = init;
-                loop {
-                    step(&mut state)?;
-                    if flag.load(Ordering::Acquire) {
-                        return Ok(state);
+        let handle =
+            std::thread::Builder::new()
+                .name(name.into())
+                .spawn(move || -> Result<R> {
+                    let mut state = init;
+                    loop {
+                        step(&mut state)?;
+                        if flag.load(Ordering::Acquire) {
+                            return Ok(state);
+                        }
+                        std::thread::park_timeout(tick);
                     }
-                    std::thread::park_timeout(tick);
-                }
-            })
-            .expect("spawn daemon thread");
-        DaemonCore {
+                })?;
+        Ok(DaemonCore {
             stop,
             handle: Some(handle),
-        }
+        })
     }
 
     /// Signal the thread, wait for a final drain step, and return the
@@ -75,7 +77,7 @@ impl<R: Send + 'static> DaemonCore<R> {
     fn stop(mut self) -> Result<R> {
         match self
             .signal_and_join()
-            .expect("stop called once on a live daemon")
+            .expect("stop called once on a live daemon") // lint:allow(L001, handle is Some until stop() consumes self)
         {
             Ok(r) => r,
             Err(panic) => std::panic::resume_unwind(panic),
@@ -123,8 +125,9 @@ impl std::fmt::Debug for DegradationDaemon {
 impl DegradationDaemon {
     /// Spawn a pump thread over `db`, firing every `tick` of wall-clock
     /// time (the *due* times themselves come from the db's own clock, so a
-    /// mock clock still controls which transitions are due).
-    pub fn spawn(db: Arc<Db>, tick: StdDuration) -> DegradationDaemon {
+    /// mock clock still controls which transitions are due). Fails only if
+    /// the OS cannot spawn the thread.
+    pub fn spawn(db: Arc<Db>, tick: StdDuration) -> Result<DegradationDaemon> {
         let core = DaemonCore::spawn(
             "degradation-daemon",
             tick,
@@ -136,8 +139,8 @@ impl DegradationDaemon {
                 total.deferred += r.deferred;
                 Ok(())
             },
-        );
-        DegradationDaemon { core }
+        )?;
+        Ok(DegradationDaemon { core })
     }
 
     /// Signal the thread, wait for a final drain pump, and return the
@@ -180,7 +183,8 @@ impl Checkpointer {
     /// wall-clock time whenever the database has mutated since the last
     /// one (WAL head when logging is on; engine mutation counters when it
     /// is off, so a `WalMode::Off` store is not re-flushed every tick).
-    pub fn spawn(db: Arc<Db>, every: StdDuration) -> Checkpointer {
+    /// Fails only if the OS cannot spawn the thread.
+    pub fn spawn(db: Arc<Db>, every: StdDuration) -> Result<Checkpointer> {
         fn fingerprint(db: &Db) -> Lsn {
             match db.wal() {
                 Some(w) => w.next_lsn(),
@@ -219,16 +223,17 @@ impl Checkpointer {
                 report.checkpoints += 1;
                 Ok(())
             },
-        );
-        Checkpointer { core }
+        )?;
+        Ok(Checkpointer { core })
     }
 
     /// Spawn from [`DbConfig::checkpoint_every`](crate::db::DbConfig);
-    /// `None` when the config leaves background checkpointing off.
-    pub fn spawn_from_config(db: &Arc<Db>) -> Option<Checkpointer> {
+    /// `Ok(None)` when the config leaves background checkpointing off.
+    pub fn spawn_from_config(db: &Arc<Db>) -> Result<Option<Checkpointer>> {
         db.config()
             .checkpoint_every
             .map(|every| Checkpointer::spawn(db.clone(), every))
+            .transpose()
     }
 
     /// Signal the thread, wait for a final tick, and return the report.
@@ -281,7 +286,8 @@ mod tests {
             )
             .unwrap();
         }
-        let daemon = DegradationDaemon::spawn(db.clone(), std::time::Duration::from_millis(1));
+        let daemon =
+            DegradationDaemon::spawn(db.clone(), std::time::Duration::from_millis(1)).unwrap();
         clock.advance(Duration::hours(2));
         // The background thread must drain the queue without any foreground
         // pump call.
@@ -301,7 +307,7 @@ mod tests {
     fn daemon_stop_is_idempotent_via_drop() {
         let clock = MockClock::new();
         let db = db_with_person(&clock);
-        let daemon = DegradationDaemon::spawn(db, std::time::Duration::from_millis(1));
+        let daemon = DegradationDaemon::spawn(db, std::time::Duration::from_millis(1)).unwrap();
         drop(daemon); // must not hang or double-join
     }
 
@@ -316,7 +322,7 @@ mod tests {
             )
             .unwrap();
         }
-        let ckpt = Checkpointer::spawn(db.clone(), std::time::Duration::from_millis(1));
+        let ckpt = Checkpointer::spawn(db.clone(), std::time::Duration::from_millis(1)).unwrap();
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
         while db.wal().unwrap().base_lsn() == 0 && std::time::Instant::now() < deadline {
             std::thread::yield_now();
@@ -342,7 +348,7 @@ mod tests {
             &[Value::Int(1), Value::Str("4 rue Jussieu".into())],
         )
         .unwrap();
-        let ckpt = Checkpointer::spawn(db.clone(), std::time::Duration::from_millis(1));
+        let ckpt = Checkpointer::spawn(db.clone(), std::time::Duration::from_millis(1)).unwrap();
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
         // Wait for the first checkpoint plus a few idle ticks after it.
         while db
@@ -379,7 +385,7 @@ mod tests {
             )
             .unwrap(),
         );
-        let ckpt = Checkpointer::spawn(db.clone(), std::time::Duration::from_millis(1));
+        let ckpt = Checkpointer::spawn(db.clone(), std::time::Duration::from_millis(1)).unwrap();
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
         while db
             .stats()
@@ -412,7 +418,7 @@ mod tests {
             .unwrap(),
         );
         assert!(
-            Checkpointer::spawn_from_config(&db).is_none(),
+            Checkpointer::spawn_from_config(&db).unwrap().is_none(),
             "checkpoint_every: None leaves background checkpointing off"
         );
         let db2 = Arc::new(
@@ -425,7 +431,9 @@ mod tests {
             )
             .unwrap(),
         );
-        let ckpt = Checkpointer::spawn_from_config(&db2).expect("knob set → daemon");
+        let ckpt = Checkpointer::spawn_from_config(&db2)
+            .unwrap()
+            .expect("knob set → daemon");
         ckpt.stop().unwrap();
     }
 }

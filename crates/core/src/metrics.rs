@@ -61,7 +61,7 @@ pub fn exposure_of_table(table: &Table) -> Result<ExposureReport> {
             schema
                 .column(*c)
                 .degrader()
-                .expect("degradable")
+                .expect("degradable") // lint:allow(L001, column from degradable_columns() always has a degrader)
                 .lcp()
                 .num_stages()
         })
@@ -79,7 +79,7 @@ pub fn exposure_of_table(table: &Table) -> Result<ExposureReport> {
     for (_tid, tuple) in table.scan()? {
         report.tuples += 1;
         for (slot, cid) in deg_cols.iter().enumerate() {
-            let d = schema.column(*cid).degrader().expect("degradable");
+            let d = schema.column(*cid).degrader().expect("degradable"); // lint:allow(L001, column from degradable_columns() always has a degrader)
             match tuple.stages.get(slot).copied().flatten() {
                 Some(stage) => {
                     let level = d.lcp().stages()[stage as usize].level;

@@ -59,7 +59,7 @@ impl QueryOutput {
     pub fn rows(self) -> QueryResult {
         match self {
             QueryOutput::Rows(r) => r,
-            other => panic!("expected rows, got {other:?}"),
+            other => panic!("expected rows, got {other:?}"), // lint:allow(L001, test-convenience accessor, not on the query path)
         }
     }
 }
@@ -168,7 +168,7 @@ fn resolve_accuracy(session: &Session, table: &Table) -> Result<AccuracyVector> 
     let mut levels = Vec::new();
     for cid in schema.degradable_columns() {
         let col = schema.column(cid);
-        let d = col.degrader().expect("degradable");
+        let d = col.degrader().expect("degradable"); // lint:allow(L001, column from degradable_columns() always has a degrader)
         let default_level = d.lcp().stages()[0].level;
         let requested = session
             .active_purpose()
@@ -407,8 +407,8 @@ fn degraded_view(
     let deg_cols = schema.degradable_columns();
     let mut row = tuple.row.clone();
     for (slot, cid) in deg_cols.iter().enumerate() {
-        let requested = acc.level_of(*cid).expect("accuracy vector covers all");
-        let d = schema.column(*cid).degrader().expect("degradable");
+        let requested = acc.level_of(*cid).expect("accuracy vector covers all"); // lint:allow(L001, accuracy vector is built over every degradable column)
+        let d = schema.column(*cid).degrader().expect("degradable"); // lint:allow(L001, column from degradable_columns() always has a degrader)
         let stage = tuple.stages.get(slot).copied().flatten();
         let current_level = stage.map(|s| d.lcp().stages()[s as usize].level);
         match current_level {

@@ -268,7 +268,7 @@ impl Parser {
             terms.push(self.term()?);
         }
         Ok(if terms.len() == 1 {
-            terms.pop().expect("one")
+            terms.pop().expect("one") // lint:allow(L001, len() == 1 checked in this branch)
         } else {
             Predicate::And(terms)
         })

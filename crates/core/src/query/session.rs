@@ -46,9 +46,17 @@ pub struct Purpose {
 /// hierarchy registered once is visible to all of them, and DDL replayed
 /// at recovery resolves against the same names — see
 /// [`crate::query::exec::schema_for_create`].
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct HierarchyRegistry {
-    inner: Arc<parking_lot::RwLock<HashMap<String, Arc<dyn Hierarchy>>>>,
+    inner: Arc<parking_lot::RwLock<HashMap<String, Arc<dyn Hierarchy>>>>, // lock-rank: 370
+}
+
+impl Default for HierarchyRegistry {
+    fn default() -> HierarchyRegistry {
+        HierarchyRegistry {
+            inner: Arc::new(parking_lot::RwLock::ranked(370, HashMap::new())),
+        }
+    }
 }
 
 impl std::fmt::Debug for HierarchyRegistry {

@@ -123,11 +123,21 @@ impl LatenessHistogram {
 }
 
 /// The due-time priority queue plus lateness accounting.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct DegradationScheduler {
-    queue: Mutex<BinaryHeap<Reverse<PendingTransition>>>,
-    lateness: Mutex<LatenessHistogram>,
+    queue: Mutex<BinaryHeap<Reverse<PendingTransition>>>, // lock-rank: 350
+    lateness: Mutex<LatenessHistogram>,                   // lock-rank: 360
     fired: std::sync::atomic::AtomicU64,
+}
+
+impl Default for DegradationScheduler {
+    fn default() -> DegradationScheduler {
+        DegradationScheduler {
+            queue: Mutex::ranked(350, BinaryHeap::new()),
+            lateness: Mutex::ranked(360, LatenessHistogram::default()),
+            fired: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
 }
 
 impl DegradationScheduler {
@@ -165,7 +175,7 @@ impl DegradationScheduler {
             if max != 0 && out.len() >= max {
                 break;
             }
-            out.push(q.pop().expect("peeked").0);
+            out.push(q.pop().expect("peeked").0); // lint:allow(L001, peek() returned Some in the loop condition)
         }
         out
     }

@@ -1,0 +1,366 @@
+//! Per-file analysis context: test-region detection and comment-borne
+//! annotations (`lint:allow`, `lock-rank:`, `SAFETY:`).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::lexer::{lex, Lexed, Tok};
+
+/// Where a file sits in the workspace; decides which rules apply.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Workspace-relative path, e.g. `crates/wal/src/writer.rs`.
+    pub rel_path: String,
+    /// The owning workspace member, e.g. `crates/wal` (`.` for the root
+    /// package).
+    pub member: String,
+}
+
+impl FileContext {
+    pub fn is_shim(&self) -> bool {
+        self.member.starts_with("shims/") || self.member.starts_with("shims\\")
+    }
+
+    /// Binary targets: `src/bin/**` and the crate-root `src/main.rs`.
+    /// Operator-facing entry points may print and may exit by panicking
+    /// with a message; library code may not.
+    pub fn is_bin(&self) -> bool {
+        self.rel_path.contains("/src/bin/")
+            || self.rel_path.starts_with("src/bin/")
+            || self.rel_path.ends_with("src/main.rs")
+    }
+
+    /// L001's blast radius: the four crates on the durability/degradation
+    /// hot path, where a stray panic kills a daemon thread silently.
+    pub fn panic_hygiene_applies(&self) -> bool {
+        matches!(
+            self.member.as_str(),
+            "crates/wal" | "crates/server" | "crates/core" | "crates/storage"
+        )
+    }
+}
+
+/// A lexed file plus everything the rules need to query about it.
+pub struct SourceFile {
+    pub ctx: FileContext,
+    pub lexed: Lexed,
+    /// Line ranges (inclusive) covered by `#[test]` / `#[cfg(test)]`
+    /// items.
+    test_ranges: Vec<(u32, u32)>,
+    /// Concatenated comment text per line (a block comment contributes to
+    /// every line it spans).
+    comments_by_line: HashMap<u32, String>,
+    /// Lines containing at least one code token.
+    code_lines: HashSet<u32>,
+}
+
+impl SourceFile {
+    pub fn parse(ctx: FileContext, source: &str) -> SourceFile {
+        let lexed = lex(source);
+        let test_ranges = test_line_ranges(&lexed.tokens);
+        let mut comments_by_line: HashMap<u32, String> = HashMap::new();
+        for c in &lexed.comments {
+            for line in c.start_line..=c.end_line {
+                let slot = comments_by_line.entry(line).or_default();
+                if !slot.is_empty() {
+                    slot.push(' ');
+                }
+                slot.push_str(&c.text);
+            }
+        }
+        let code_lines = lexed.tokens.iter().map(|t| t.line).collect();
+        SourceFile {
+            ctx,
+            lexed,
+            test_ranges,
+            comments_by_line,
+            code_lines,
+        }
+    }
+
+    pub fn tokens(&self) -> &[Tok] {
+        &self.lexed.tokens
+    }
+
+    /// Is `line` inside a `#[test]` fn or `#[cfg(test)]` item?
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(start, end)| (start..=end).contains(&line))
+    }
+
+    /// Comment texts that annotate `line`: the trailing comment on the
+    /// line itself, plus the contiguous run of comment-only lines directly
+    /// above it (a blank line or an intervening code line breaks the
+    /// association).
+    pub fn annotation_comments(&self, line: u32) -> Vec<&str> {
+        let mut texts: Vec<&str> = Vec::new();
+        if let Some(t) = self.comments_by_line.get(&line) {
+            texts.push(t);
+        }
+        let mut l = line.saturating_sub(1);
+        while l >= 1 {
+            match self.comments_by_line.get(&l) {
+                Some(t) if !self.code_lines.contains(&l) => texts.push(t),
+                _ => break,
+            }
+            l -= 1;
+        }
+        texts
+    }
+
+    /// Does an `// lint:allow(RULE, reason)` with a non-empty reason cover
+    /// `line`?
+    pub fn allows(&self, rule: &str, line: u32) -> bool {
+        self.annotation_comments(line)
+            .iter()
+            .any(|t| comment_allows(t, rule))
+    }
+
+    /// The `lock-rank:` annotation covering `line`, if any.
+    pub fn lock_rank(&self, line: u32) -> Option<RankAnnotation> {
+        self.annotation_comments(line)
+            .iter()
+            .find_map(|t| parse_lock_rank(t))
+    }
+
+    /// Does a `SAFETY:` comment cover `line`?
+    pub fn has_safety_comment(&self, line: u32) -> bool {
+        self.annotation_comments(line)
+            .iter()
+            .any(|t| t.contains("SAFETY:"))
+    }
+}
+
+/// Parsed `lock-rank:` annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RankAnnotation {
+    /// `// lock-rank: <N>` — participates in the global order.
+    Ranked(u32),
+    /// `// lock-rank: unranked(reason)` — exempt, with a stated reason.
+    Unranked { reason_ok: bool },
+    /// `lock-rank:` present but unparsable.
+    Malformed,
+}
+
+fn comment_allows(comment: &str, rule: &str) -> bool {
+    let mut rest = comment;
+    while let Some(at) = rest.find("lint:allow(") {
+        let args = &rest[at + "lint:allow(".len()..];
+        if let Some(close) = args.find(')') {
+            let mut parts = args[..close].splitn(2, ',');
+            let id = parts.next().unwrap_or("").trim();
+            let reason = parts.next().unwrap_or("").trim();
+            if id == rule && !reason.is_empty() {
+                return true;
+            }
+        }
+        rest = &rest[at + "lint:allow(".len()..];
+    }
+    false
+}
+
+fn parse_lock_rank(comment: &str) -> Option<RankAnnotation> {
+    let at = comment.find("lock-rank:")?;
+    let rest = comment[at + "lock-rank:".len()..].trim_start();
+    if let Some(unranked) = rest.strip_prefix("unranked(") {
+        let reason = unranked.split(')').next().unwrap_or("").trim();
+        return Some(RankAnnotation::Unranked {
+            reason_ok: !reason.is_empty(),
+        });
+    }
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    if digits.is_empty() {
+        return Some(RankAnnotation::Malformed);
+    }
+    digits
+        .parse::<u32>()
+        .ok()
+        .map(RankAnnotation::Ranked)
+        .or(Some(RankAnnotation::Malformed))
+}
+
+/// Find line ranges covered by test-marked items: `#[test]`,
+/// `#[cfg(test)]`, `#[cfg(all(test, ...))]` and friends. An attribute
+/// containing the `test` ident marks a test item *unless* it also
+/// contains `not` (so `#[cfg(not(test))]` is production code).
+fn test_line_ranges(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let attr_line = toks[i].line;
+            let (attr_end, is_test) = scan_attr(toks, i + 1);
+            if is_test {
+                if let Some(body_end) = item_end(toks, attr_end + 1) {
+                    ranges.push((attr_line, toks[body_end].line));
+                }
+            }
+            i = attr_end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    ranges
+}
+
+/// Scan a `[...]` attribute starting at its `[`. Returns (index of the
+/// closing `]`, whether this attribute marks test code).
+fn scan_attr(toks: &[Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut has_test = false;
+    let mut has_not = false;
+    let mut i = open;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.is_ident("test") {
+            has_test = true;
+        } else if t.is_ident("not") {
+            has_not = true;
+        }
+        i += 1;
+    }
+    (i.min(toks.len().saturating_sub(1)), has_test && !has_not)
+}
+
+/// Given the token index just past a test attribute, find the index of
+/// the token ending the annotated item: the matching `}` of its body, or
+/// the `;` of a body-less item. Skips any further attributes in between.
+fn item_end(toks: &[Tok], mut i: usize) -> Option<usize> {
+    // Skip stacked attributes (#[test] #[ignore] fn ...).
+    while i < toks.len()
+        && toks[i].is_punct('#')
+        && toks.get(i + 1).is_some_and(|t| t.is_punct('['))
+    {
+        let (end, _) = scan_attr(toks, i + 1);
+        i = end + 1;
+    }
+    // Walk to the body `{` (at paren depth 0) or a terminating `;`.
+    let mut paren = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren = paren.saturating_sub(1);
+        } else if t.is_punct(';') && paren == 0 {
+            return Some(i);
+        } else if t.is_punct('{') && paren == 0 {
+            // Brace-match the body.
+            let mut depth = 0usize;
+            while i < toks.len() {
+                if toks[i].is_punct('{') {
+                    depth += 1;
+                } else if toks[i].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(i);
+                    }
+                }
+                i += 1;
+            }
+            return None;
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse(
+            FileContext {
+                rel_path: "crates/demo/src/lib.rs".into(),
+                member: "crates/demo".into(),
+            },
+            src,
+        )
+    }
+
+    #[test]
+    fn cfg_test_mod_is_test_code() {
+        let f = file(
+            "fn prod() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn helper() {}\n\
+             }\n\
+             fn also_prod() {}\n",
+        );
+        assert!(!f.in_test_code(1));
+        assert!(f.in_test_code(2));
+        assert!(f.in_test_code(4));
+        assert!(!f.in_test_code(6));
+    }
+
+    #[test]
+    fn cfg_not_test_is_production() {
+        let f = file("#[cfg(not(test))]\nfn prod() { body(); }\n");
+        assert!(!f.in_test_code(2));
+    }
+
+    #[test]
+    fn test_attr_with_stacked_attrs() {
+        let f = file("#[test]\n#[ignore]\nfn t() {\n    body();\n}\n");
+        assert!(f.in_test_code(4));
+    }
+
+    #[test]
+    fn allow_requires_reason() {
+        let f = file(
+            "fn a() {} // lint:allow(L001, infallible: len checked above)\n\
+             fn b() {} // lint:allow(L001,)\n\
+             fn c() {} // lint:allow(L001)\n",
+        );
+        assert!(f.allows("L001", 1));
+        assert!(!f.allows("L001", 2));
+        assert!(!f.allows("L001", 3));
+        assert!(!f.allows("L002", 1));
+    }
+
+    #[test]
+    fn allow_on_preceding_comment_line() {
+        let f = file(
+            "// lint:allow(L005, demo output)\n\
+             fn a() {}\n\
+             \n\
+             // lint:allow(L005, too far away)\n\
+             \n\
+             fn b() {}\n",
+        );
+        assert!(f.allows("L005", 2));
+        assert!(!f.allows("L005", 6), "blank line breaks the association");
+    }
+
+    #[test]
+    fn lock_rank_forms() {
+        let f = file(
+            "struct S {\n\
+                 a: u32, // lock-rank: 120\n\
+                 b: u32, // lock-rank: unranked(page-ordered latch)\n\
+                 c: u32, // lock-rank: unranked()\n\
+                 d: u32, // lock-rank: soon\n\
+             }\n",
+        );
+        assert_eq!(f.lock_rank(2), Some(RankAnnotation::Ranked(120)));
+        assert_eq!(
+            f.lock_rank(3),
+            Some(RankAnnotation::Unranked { reason_ok: true })
+        );
+        assert_eq!(
+            f.lock_rank(4),
+            Some(RankAnnotation::Unranked { reason_ok: false })
+        );
+        assert_eq!(f.lock_rank(5), Some(RankAnnotation::Malformed));
+        assert_eq!(f.lock_rank(1), None);
+    }
+}

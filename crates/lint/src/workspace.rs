@@ -1,0 +1,122 @@
+//! Workspace discovery: find every member's `src/` tree without a TOML
+//! dependency.
+//!
+//! The only manifest syntax this understands is what the workspace
+//! actually uses — a `members = [ "..." ]` array under `[workspace]` and
+//! an optional `[package]` section for the root crate. Fixture
+//! workspaces used by the integration tests name their manifest
+//! `lint-workspace.toml` so cargo never mistakes them for real nested
+//! packages.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A workspace member with its resolved source files.
+#[derive(Debug)]
+pub struct Member {
+    /// Workspace-relative member path (`.` for the root package).
+    pub name: String,
+    /// Workspace-relative paths of every `.rs` file under `src/`, sorted.
+    pub sources: Vec<String>,
+}
+
+/// Discover workspace members and their `src/**/*.rs` files under `root`.
+pub fn discover(root: &Path) -> io::Result<Vec<Member>> {
+    let manifest = ["Cargo.toml", "lint-workspace.toml"]
+        .iter()
+        .map(|n| root.join(n))
+        .find(|p| p.is_file())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!(
+                    "no Cargo.toml or lint-workspace.toml under {}",
+                    root.display()
+                ),
+            )
+        })?;
+    let text = fs::read_to_string(&manifest)?;
+    let mut member_names = parse_members(&text);
+    if text.contains("[package]") {
+        // The workspace root is itself a package; its src/ is walked too.
+        member_names.push(".".to_string());
+    }
+    let mut members = Vec::new();
+    for name in member_names {
+        let src = root.join(&name).join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut sources = Vec::new();
+        walk_rs(&src, &mut sources)?;
+        sources.sort();
+        let sources = sources.into_iter().map(|p| rel_display(root, &p)).collect();
+        members.push(Member { name, sources });
+    }
+    Ok(members)
+}
+
+/// Extract the `members = [ ... ]` string array.
+fn parse_members(manifest: &str) -> Vec<String> {
+    let Some(at) = manifest.find("members") else {
+        return Vec::new();
+    };
+    let Some(open) = manifest[at..].find('[') else {
+        return Vec::new();
+    };
+    let body = &manifest[at + open + 1..];
+    let Some(close) = body.find(']') else {
+        return Vec::new();
+    };
+    body[..close]
+        .split('"')
+        .skip(1)
+        .step_by(2)
+        .map(|s| s.to_string())
+        .collect()
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with forward slashes, for stable output.
+fn rel_display(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_members_array() {
+        let manifest = r#"
+            [workspace]
+            members = [
+                "crates/a",
+                "shims/b",
+            ]
+            [package]
+            name = "root"
+        "#;
+        assert_eq!(parse_members(manifest), vec!["crates/a", "shims/b"]);
+    }
+
+    #[test]
+    fn no_members_key_is_empty() {
+        assert!(parse_members("[package]\nname = \"x\"\n").is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+//! Clean fixture: every rule satisfied — the linter must exit zero.
+
+use parking_lot::{Mutex, RwLock};
+
+pub struct Engine {
+    pub state: Mutex<u32>,   // lock-rank: 100
+    pub index: RwLock<u32>,  // lock-rank: 200
+}
+
+pub fn read_tag(bytes: &[u8; 4]) -> u32 {
+    u32::from_le_bytes((&bytes[..]).try_into().unwrap()) // lint:allow(L001, slice length is fixed by the array type)
+}
+
+pub fn first_byte(p: *const u8) -> u8 {
+    // SAFETY: fixture — the caller guarantees `p` points to a live byte.
+    unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn everything_goes_in_tests() {
+        println!("printing, panicking, unwrapping:");
+        let v: Option<u32> = Some(1);
+        v.unwrap();
+    }
+}

@@ -1,0 +1,31 @@
+//! L001 fixture: exactly one violation, surrounded by false-positive
+//! guards the rule must not trip on.
+
+pub fn violation(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn distinct_ident_guard(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+pub fn allowed(v: Option<u32>) -> u32 {
+    v.unwrap() // lint:allow(L001, fixture: justified by construction)
+}
+
+// A comment mentioning .unwrap() is not code.
+pub const STRING_GUARD: &str = "calls .unwrap() inside a string";
+
+pub fn assertion_guard(n: usize) {
+    assert!(n > 0, "assertions state invariants and are exempt");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        v.unwrap();
+        panic!("tests may panic too");
+    }
+}

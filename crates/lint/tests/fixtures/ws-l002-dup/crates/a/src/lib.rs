@@ -1,0 +1,7 @@
+//! First declaration of rank 10 — fine on its own.
+
+use parking_lot::Mutex;
+
+pub struct A {
+    pub first: Mutex<u32>, // lock-rank: 10
+}

@@ -1,0 +1,8 @@
+//! Second declaration of rank 10 — the cross-file uniqueness pass must
+//! flag this one, naming the first site.
+
+use parking_lot::Mutex;
+
+pub struct B {
+    pub second: Mutex<u32>, // lock-rank: 10
+}

@@ -1,0 +1,19 @@
+//! L002 fixture: one unannotated lock field, plus annotated fields and
+//! an import line the rule must not flag.
+
+use parking_lot::{Mutex, RwLock};
+
+pub struct Locks {
+    pub bad: Mutex<u32>,
+    pub good: Mutex<u32>, // lock-rank: 10
+    // lock-rank: 20
+    pub annotated_above: RwLock<u32>,
+    pub exempt: RwLock<u32>, // lock-rank: unranked(fixture: ordered by external key)
+}
+
+#[cfg(test)]
+mod tests {
+    pub struct TestOnly {
+        pub t: super::Mutex<u32>,
+    }
+}

@@ -1,0 +1,12 @@
+//! L003 fixture: one `unsafe` without justification, one with.
+
+pub fn violation(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn justified(p: *const u8) -> u8 {
+    // SAFETY: fixture — the caller guarantees `p` points to a live byte.
+    unsafe { *p }
+}
+
+pub const STRING_GUARD: &str = "the word unsafe in a string is not code";

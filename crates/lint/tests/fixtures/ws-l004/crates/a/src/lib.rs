@@ -1,0 +1,11 @@
+//! L004 fixture: one direct std lock import; Arc/atomics are fine.
+
+use std::sync::Mutex;
+
+use std::sync::atomic::AtomicU32;
+use std::sync::Arc;
+
+pub struct S {
+    pub m: Mutex<u32>, // lock-rank: 10
+    pub a: Arc<AtomicU32>,
+}

@@ -1,0 +1,5 @@
+//! Binary-target guard: operator-facing entry points may print.
+
+fn main() {
+    println!("binaries may print");
+}

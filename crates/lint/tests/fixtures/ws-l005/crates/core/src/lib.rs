@@ -1,0 +1,18 @@
+//! L005 fixture: one library print; strings, tests and binaries are
+//! exempt.
+
+pub fn violation() {
+    println!("library code must not print");
+}
+
+pub fn string_guard() -> &'static str {
+    "println! inside a string literal"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("progress output in tests is fine");
+    }
+}

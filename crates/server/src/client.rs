@@ -156,7 +156,7 @@ impl Client {
 
     fn try_exchange(&mut self, frame: &Frame) -> Result<Frame> {
         self.ensure_connected()?;
-        let stream = self.stream.as_mut().expect("connected above");
+        let stream = self.stream.as_mut().expect("connected above"); // lint:allow(L001, ensure_connected() just set the stream)
         protocol::write_frame(stream, frame)?;
         match protocol::read_frame(stream, self.cfg.max_frame_bytes)? {
             Some(reply) => Ok(reply),

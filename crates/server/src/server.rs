@@ -97,14 +97,14 @@ impl Default for ServerConfig {
 struct ConnState {
     /// Writing side; every response frame is written under this lock so
     /// frames never interleave on the stream.
-    stream: Mutex<TcpStream>,
+    stream: Mutex<TcpStream>, // lock-rank: 160
     /// Outgoing frame cap (mirrors the incoming one): a reply larger
     /// than this is replaced by a typed `capacity` error, keeping the
     /// connection alive instead of desynchronizing the client.
     max_frame_bytes: u32,
     /// The connection's session — reused across frames, so purpose
     /// declarations persist for the connection's lifetime.
-    session: Mutex<Session>,
+    session: Mutex<Session>, // lock-rank: 150
     /// Sequence of the next Query that may execute and reply. Query
     /// frames carry no correlation id, so a pipelining client pairs
     /// replies with queries by order alone — and session state demands
@@ -115,7 +115,7 @@ struct ConnState {
     /// pipelined queries land on different workers. (Execution was
     /// already serialized by the session mutex; the ticket only pins
     /// its order, so cross-connection parallelism is untouched.)
-    turn: Mutex<u64>,
+    turn: Mutex<u64>, // lock-rank: 140
     turn_cv: Condvar,
 }
 
@@ -171,7 +171,7 @@ enum Pushed {
 
 /// The bounded MPMC job queue behind the worker pool.
 struct JobQueue {
-    inner: Mutex<QueueInner>,
+    inner: Mutex<QueueInner>, // lock-rank: 130
     cv: Condvar,
     depth: usize,
 }
@@ -184,10 +184,13 @@ struct QueueInner {
 impl JobQueue {
     fn new(depth: usize) -> JobQueue {
         JobQueue {
-            inner: Mutex::new(QueueInner {
-                jobs: std::collections::VecDeque::new(),
-                open: true,
-            }),
+            inner: Mutex::ranked(
+                130,
+                QueueInner {
+                    jobs: std::collections::VecDeque::new(),
+                    open: true,
+                },
+            ),
             cv: Condvar::new(),
             depth: depth.max(1),
         }
@@ -242,11 +245,11 @@ struct Shared {
     /// exhaustion.
     refusing: AtomicU64,
     /// Write-side stream clones, for unblocking readers at shutdown.
-    conns: Mutex<HashMap<u64, TcpStream>>,
-    readers: Mutex<Vec<JoinHandle<()>>>,
+    conns: Mutex<HashMap<u64, TcpStream>>, // lock-rank: 120
+    readers: Mutex<Vec<JoinHandle<()>>>, // lock-rank: 110
     /// Append-only DDL journal (see [`open_or_recover`]); `None` for an
     /// ephemeral engine.
-    ddl: Option<Mutex<std::fs::File>>,
+    ddl: Option<Mutex<std::fs::File>>, // lock-rank: 100
 }
 
 /// A running InstantDB network front-end over an embedded [`Db`].
@@ -277,7 +280,8 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
         let ddl = match &db.config().path {
-            Some(p) => Some(Mutex::new(
+            Some(p) => Some(Mutex::ranked(
+                100,
                 std::fs::OpenOptions::new()
                     .create(true)
                     .append(true)
@@ -285,10 +289,11 @@ impl Server {
             )),
             None => None,
         };
-        let checkpointer = Checkpointer::spawn_from_config(&db);
+        let checkpointer = Checkpointer::spawn_from_config(&db)?;
         let degrader = cfg
             .degrade_every
-            .map(|every| DegradationDaemon::spawn(db.clone(), every));
+            .map(|every| DegradationDaemon::spawn(db.clone(), every))
+            .transpose()?;
         let shared = Arc::new(Shared {
             queue: JobQueue::new(cfg.queue_depth),
             db,
@@ -298,25 +303,44 @@ impl Server {
             shutting_down: AtomicBool::new(false),
             next_conn_id: AtomicU64::new(1),
             refusing: AtomicU64::new(0),
-            conns: Mutex::new(HashMap::new()),
-            readers: Mutex::new(Vec::new()),
+            conns: Mutex::ranked(120, HashMap::new()),
+            readers: Mutex::ranked(110, Vec::new()),
             ddl,
         });
-        let workers = (0..shared.cfg.workers.max(1))
+        // Thread spawns can fail under resource pressure; a server that
+        // cannot field its pool must report that, not panic half-built.
+        // Closing the queue unblocks any workers that did start so they
+        // exit instead of leaking.
+        let spawned = (0..shared.cfg.workers.max(1))
             .map(|i| {
                 let shared = shared.clone();
                 std::thread::Builder::new()
                     .name(format!("idb-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker")
             })
-            .collect();
+            .collect::<std::io::Result<Vec<_>>>();
+        let workers = match spawned {
+            Ok(workers) => workers,
+            Err(e) => {
+                shared.queue.close();
+                return Err(e.into());
+            }
+        };
         let acceptor = {
-            let shared = shared.clone();
-            std::thread::Builder::new()
+            let shared2 = shared.clone();
+            let spawned = std::thread::Builder::new()
                 .name("idb-acceptor".into())
-                .spawn(move || accept_loop(&listener, &shared))
-                .expect("spawn acceptor")
+                .spawn(move || accept_loop(&listener, &shared2));
+            match spawned {
+                Ok(handle) => handle,
+                Err(e) => {
+                    shared.queue.close();
+                    for h in workers {
+                        let _ = h.join();
+                    }
+                    return Err(e.into());
+                }
+            }
         };
         Ok(Server {
             shared,
@@ -535,16 +559,19 @@ fn reader_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
     // read deadline for the session loop.
     let _ = stream.set_read_timeout(None);
     let conn = Arc::new(ConnState {
-        stream: Mutex::new(match stream.try_clone() {
-            Ok(s) => s,
-            Err(_) => return,
-        }),
+        stream: Mutex::ranked(
+            160,
+            match stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => return,
+            },
+        ),
         max_frame_bytes: shared.cfg.max_frame_bytes,
-        session: Mutex::new(Session::with_registry(
-            shared.db.clone(),
-            shared.hierarchies.clone(),
-        )),
-        turn: Mutex::new(0),
+        session: Mutex::ranked(
+            150,
+            Session::with_registry(shared.db.clone(), shared.hierarchies.clone()),
+        ),
+        turn: Mutex::ranked(140, 0),
         turn_cv: Condvar::new(),
     });
     let mut next_seq = 0u64;

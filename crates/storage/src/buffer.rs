@@ -68,6 +68,8 @@ struct Frame {
 
 /// One resident frame: latch-guarded contents plus lock-free metadata.
 struct Slot {
+    // lock-rank: unranked(page latches are ordered by PageId discipline, not rank: with_page
+    // closures may fault sibling pages back through the pool, re-entering shard maps)
     latch: RwLock<Frame>,
     /// Active accessors; a frame with `pins > 0` is never evicted.
     pins: AtomicU32,
@@ -76,6 +78,8 @@ struct Slot {
 }
 
 struct Shard {
+    // lock-rank: unranked(shard maps sit below every ranked lock but are re-entered when a
+    // page closure faults another page in; held only for map lookups, never across I/O)
     frames: Mutex<HashMap<PageId, Arc<Slot>>>,
 }
 
@@ -377,7 +381,7 @@ impl BufferPool {
                     self.disk.write_page(&frame.page)?;
                 }
             }
-            frames.remove(&pid).expect("checked resident");
+            frames.remove(&pid).expect("checked resident"); // lint:allow(L001, residency checked above under the same shard lock)
             self.resident.fetch_sub(1, Ordering::Release);
             self.evictions.fetch_add(1, Ordering::Relaxed);
             return Ok(());

@@ -20,7 +20,7 @@ use crate::page::{Page, PAGE_SIZE};
 /// File-backed page store.
 #[derive(Debug)]
 pub struct DiskManager {
-    file: Mutex<File>,
+    file: Mutex<File>, // lock-rank: 800
     path: PathBuf,
     next_page: AtomicU32,
     reads: AtomicU64,
@@ -63,7 +63,7 @@ impl DiskManager {
             (len / PAGE_SIZE as u64) as u32
         };
         Ok(DiskManager {
-            file: Mutex::new(file),
+            file: Mutex::ranked(800, file),
             path,
             next_page: AtomicU32::new(next_page),
             reads: AtomicU64::new(0),
@@ -77,7 +77,7 @@ impl DiskManager {
         use std::time::{SystemTime, UNIX_EPOCH};
         let nanos = SystemTime::now()
             .duration_since(UNIX_EPOCH)
-            .unwrap()
+            .unwrap() // lint:allow(L001, a system clock before the Unix epoch is unsupported)
             .as_nanos();
         let pid = std::process::id();
         let path = std::env::temp_dir().join(format!("instantdb-{tag}-{pid}-{nanos}.idb"));
@@ -116,8 +116,8 @@ impl DiskManager {
         file.seek(SeekFrom::Start(offset))?;
         let mut buf = vec![0u8; PAGE_SIZE].into_boxed_slice();
         file.read_exact(&mut buf)?;
-        let arr: Box<[u8; PAGE_SIZE]> = buf.try_into().expect("exact size");
-        // An all-zero region means the page was allocated but never flushed.
+        let arr: Box<[u8; PAGE_SIZE]> = buf.try_into().expect("exact size"); // lint:allow(L001, boxed slice has exactly PAGE_SIZE bytes)
+                                                                             // An all-zero region means the page was allocated but never flushed.
         if arr.iter().all(|&b| b == 0) {
             return Ok(Page::new(id));
         }

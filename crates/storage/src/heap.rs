@@ -26,7 +26,7 @@ use crate::slotted::SlottedPage;
 pub struct HeapFile {
     pool: Arc<BufferPool>,
     /// Pages owned by this heap, in allocation order.
-    pages: Mutex<Vec<PageId>>,
+    pages: Mutex<Vec<PageId>>, // lock-rank: 340
     policy: SecurePolicy,
 }
 
@@ -44,7 +44,7 @@ impl HeapFile {
     pub fn create(pool: Arc<BufferPool>, policy: SecurePolicy) -> HeapFile {
         HeapFile {
             pool,
-            pages: Mutex::new(Vec::new()),
+            pages: Mutex::ranked(340, Vec::new()),
             policy,
         }
     }
@@ -53,7 +53,7 @@ impl HeapFile {
     pub fn attach(pool: Arc<BufferPool>, pages: Vec<PageId>, policy: SecurePolicy) -> HeapFile {
         HeapFile {
             pool,
-            pages: Mutex::new(pages),
+            pages: Mutex::ranked(340, pages),
             policy,
         }
     }
@@ -203,7 +203,7 @@ impl HeapFile {
 /// Decode the slotted directory from an immutable payload to read one slot.
 fn read_slot_bytes(payload: &[u8], tid: TupleId) -> Result<Vec<u8>> {
     // Mirror of SlottedPage::read for the immutable path.
-    let nslots = u16::from_le_bytes(payload[0..2].try_into().unwrap());
+    let nslots = u16::from_le_bytes(payload[0..2].try_into().unwrap()); // lint:allow(L001, fixed-width slice of a checked-length payload)
     if tid.slot.0 >= nslots {
         return Err(instant_common::Error::NotFound(format!(
             "slot {} out of range",
@@ -211,9 +211,9 @@ fn read_slot_bytes(payload: &[u8], tid: TupleId) -> Result<Vec<u8>> {
         )));
     }
     let p = payload.len() - (tid.slot.0 as usize + 1) * 6;
-    let offset = u16::from_le_bytes(payload[p..p + 2].try_into().unwrap()) as usize;
-    let cap = u16::from_le_bytes(payload[p + 2..p + 4].try_into().unwrap()) as usize;
-    let len = u16::from_le_bytes(payload[p + 4..p + 6].try_into().unwrap()) as usize;
+    let offset = u16::from_le_bytes(payload[p..p + 2].try_into().unwrap()) as usize; // lint:allow(L001, fixed-width slice of a checked-length payload)
+    let cap = u16::from_le_bytes(payload[p + 2..p + 4].try_into().unwrap()) as usize; // lint:allow(L001, fixed-width slice of a checked-length payload)
+    let len = u16::from_le_bytes(payload[p + 4..p + 6].try_into().unwrap()) as usize; // lint:allow(L001, fixed-width slice of a checked-length payload)
     if cap == 0 {
         return Err(instant_common::Error::NotFound(format!(
             "tuple {tid} deleted"

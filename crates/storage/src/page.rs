@@ -47,7 +47,7 @@ impl Page {
     /// A zeroed page initialized with header for `id`.
     pub fn new(id: PageId) -> Page {
         let mut p = Page {
-            bytes: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap(),
+            bytes: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap(), // lint:allow(L001, vec is allocated with exactly PAGE_SIZE bytes)
         };
         p.bytes[0..4].copy_from_slice(&MAGIC);
         p.bytes[4..8].copy_from_slice(&id.0.to_le_bytes());
@@ -66,7 +66,7 @@ impl Page {
                 p.id()
             )));
         }
-        let stored = u64::from_le_bytes(p.bytes[16..24].try_into().unwrap());
+        let stored = u64::from_le_bytes(p.bytes[16..24].try_into().unwrap()); // lint:allow(L001, fixed-width header slice)
         let actual = fnv1a(&p.bytes[PAGE_HEADER_SIZE..]);
         if stored != actual {
             return Err(Error::Corrupt(format!(
@@ -85,11 +85,11 @@ impl Page {
     }
 
     pub fn id(&self) -> PageId {
-        PageId(u32::from_le_bytes(self.bytes[4..8].try_into().unwrap()))
+        PageId(u32::from_le_bytes(self.bytes[4..8].try_into().unwrap())) // lint:allow(L001, fixed-width header slice)
     }
 
     pub fn lsn(&self) -> u64 {
-        u64::from_le_bytes(self.bytes[8..16].try_into().unwrap())
+        u64::from_le_bytes(self.bytes[8..16].try_into().unwrap()) // lint:allow(L001, fixed-width header slice)
     }
 
     pub fn set_lsn(&mut self, lsn: u64) {

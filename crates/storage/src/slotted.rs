@@ -65,19 +65,19 @@ impl<'a> SlottedPage<'a> {
     }
 
     fn nslots(&self) -> u16 {
-        u16::from_le_bytes(self.buf[0..2].try_into().unwrap())
+        u16::from_le_bytes(self.buf[0..2].try_into().unwrap()) // lint:allow(L001, fixed-width header slice)
     }
     fn set_nslots(&mut self, v: u16) {
         self.buf[0..2].copy_from_slice(&v.to_le_bytes());
     }
     fn free_start(&self) -> u16 {
-        u16::from_le_bytes(self.buf[2..4].try_into().unwrap())
+        u16::from_le_bytes(self.buf[2..4].try_into().unwrap()) // lint:allow(L001, fixed-width header slice)
     }
     fn set_free_start(&mut self, v: u16) {
         self.buf[2..4].copy_from_slice(&v.to_le_bytes());
     }
     fn free_end(&self) -> u16 {
-        u16::from_le_bytes(self.buf[4..6].try_into().unwrap())
+        u16::from_le_bytes(self.buf[4..6].try_into().unwrap()) // lint:allow(L001, fixed-width header slice)
     }
     fn set_free_end(&mut self, v: u16) {
         self.buf[4..6].copy_from_slice(&v.to_le_bytes());
@@ -93,9 +93,9 @@ impl<'a> SlottedPage<'a> {
         }
         let p = self.slot_pos(slot);
         Ok(Slot {
-            offset: u16::from_le_bytes(self.buf[p..p + 2].try_into().unwrap()),
-            cap: u16::from_le_bytes(self.buf[p + 2..p + 4].try_into().unwrap()),
-            len: u16::from_le_bytes(self.buf[p + 4..p + 6].try_into().unwrap()),
+            offset: u16::from_le_bytes(self.buf[p..p + 2].try_into().unwrap()), // lint:allow(L001, fixed-width directory slice)
+            cap: u16::from_le_bytes(self.buf[p + 2..p + 4].try_into().unwrap()), // lint:allow(L001, fixed-width directory slice)
+            len: u16::from_le_bytes(self.buf[p + 4..p + 6].try_into().unwrap()), // lint:allow(L001, fixed-width directory slice)
         })
     }
 
@@ -283,7 +283,7 @@ impl<'a> SlottedPage<'a> {
         // Collect live records (id, cap, bytes).
         let mut live: Vec<(SlotId, Slot, Vec<u8>)> = Vec::new();
         for i in 0..n {
-            let s = self.read_slot(SlotId(i)).expect("in range");
+            let s = self.read_slot(SlotId(i)).expect("in range"); // lint:allow(L001, i < nslots() by the loop bound)
             if s.cap > 0 {
                 let off = s.offset as usize;
                 // Copy only the live length: any stale tail bytes inside the

@@ -88,10 +88,19 @@ struct Tables {
 }
 
 /// The lock manager.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct LockManager {
-    state: Mutex<Tables>,
+    state: Mutex<Tables>, // lock-rank: 410
     cv: Condvar,
+}
+
+impl Default for LockManager {
+    fn default() -> LockManager {
+        LockManager {
+            state: Mutex::ranked(410, Tables::default()),
+            cv: Condvar::new(),
+        }
+    }
 }
 
 impl LockManager {

@@ -35,7 +35,7 @@ enum TxState {
 pub struct TxHandle {
     id: TxId,
     kind: TxKind,
-    state: Mutex<TxState>,
+    state: Mutex<TxState>, // lock-rank: 400
     locks: Arc<LockManager>,
 }
 
@@ -157,7 +157,7 @@ impl TxManager {
         TxHandle {
             id,
             kind,
-            state: Mutex::new(TxState::Active),
+            state: Mutex::ranked(400, TxState::Active),
             locks: self.locks.clone(),
         }
     }

@@ -103,14 +103,14 @@ enum TicketState {
 
 /// One committer's rendezvous with the writer thread.
 struct Ticket {
-    state: Mutex<TicketState>,
+    state: Mutex<TicketState>, // lock-rank: 510
     cv: Condvar,
 }
 
 impl Ticket {
     fn new() -> Ticket {
         Ticket {
-            state: Mutex::new(TicketState::Pending),
+            state: Mutex::ranked(510, TicketState::Pending),
             cv: Condvar::new(),
         }
     }
@@ -162,7 +162,7 @@ struct Queue {
 }
 
 struct Shared {
-    queue: Mutex<Queue>,
+    queue: Mutex<Queue>, // lock-rank: 500
     /// Signals the writer that work arrived or stop was requested.
     work: Condvar,
     stats: StatsCells,
@@ -186,13 +186,19 @@ impl std::fmt::Debug for GroupCommit {
 }
 
 impl GroupCommit {
-    /// Spawn the log-writer thread over `wal`.
-    pub fn spawn(wal: Arc<Wal>, cfg: GroupCommitConfig) -> GroupCommit {
+    /// Spawn the log-writer thread over `wal`. Fails only if the OS
+    /// cannot spawn the thread — without its writer the pipeline could
+    /// never acknowledge a commit, so that must surface as an error at
+    /// startup, not a panic.
+    pub fn spawn(wal: Arc<Wal>, cfg: GroupCommitConfig) -> Result<GroupCommit> {
         let shared = Arc::new(Shared {
-            queue: Mutex::new(Queue {
-                pending: Vec::new(),
-                stopping: false,
-            }),
+            queue: Mutex::ranked(
+                500,
+                Queue {
+                    pending: Vec::new(),
+                    stopping: false,
+                },
+            ),
             work: Condvar::new(),
             stats: StatsCells::default(),
         });
@@ -200,13 +206,12 @@ impl GroupCommit {
         let thread_shared = shared.clone();
         let handle = std::thread::Builder::new()
             .name("wal-group-commit".into())
-            .spawn(move || writer_loop(thread_wal, thread_shared, cfg))
-            .expect("spawn group-commit writer thread");
-        GroupCommit {
+            .spawn(move || writer_loop(thread_wal, thread_shared, cfg))?;
+        Ok(GroupCommit {
             wal,
             shared,
             handle: Some(handle),
-        }
+        })
     }
 
     /// Durably commit `records` as one atomic batch: blocks until the
@@ -405,7 +410,7 @@ mod tests {
     #[test]
     fn single_commit_returns_first_lsn_and_is_durable() {
         let wal = Arc::new(Wal::temp("gc1").unwrap());
-        let gc = GroupCommit::spawn(wal.clone(), GroupCommitConfig::default());
+        let gc = GroupCommit::spawn(wal.clone(), GroupCommitConfig::default()).unwrap();
         assert_eq!(gc.commit(batch(0)).unwrap(), 0);
         assert_eq!(gc.commit(batch(1)).unwrap(), 3);
         let stats = gc.stop();
@@ -420,7 +425,7 @@ mod tests {
     #[test]
     fn empty_batch_is_a_noop() {
         let wal = Arc::new(Wal::temp("gc2").unwrap());
-        let gc = GroupCommit::spawn(wal.clone(), GroupCommitConfig::default());
+        let gc = GroupCommit::spawn(wal.clone(), GroupCommitConfig::default()).unwrap();
         assert_eq!(gc.commit(Vec::new()).unwrap(), 0);
         assert_eq!(gc.stop().commits, 0);
         assert!(wal.iterate().unwrap().is_empty());
@@ -429,7 +434,7 @@ mod tests {
     #[test]
     fn commit_after_stop_errors() {
         let wal = Arc::new(Wal::temp("gc3").unwrap());
-        let mut gc = GroupCommit::spawn(wal.clone(), GroupCommitConfig::default());
+        let mut gc = GroupCommit::spawn(wal.clone(), GroupCommitConfig::default()).unwrap();
         gc.shutdown();
         assert!(gc.commit(batch(0)).is_err());
     }
@@ -446,7 +451,8 @@ mod tests {
                 max_batch: 1024,
                 max_delay: StdDuration::from_secs(30),
             },
-        );
+        )
+        .unwrap();
         let start = std::time::Instant::now();
         std::thread::scope(|s| {
             let gcr = &gc;
@@ -476,7 +482,8 @@ mod tests {
                 max_batch: 1024,
                 max_delay: StdDuration::from_millis(500),
             },
-        );
+        )
+        .unwrap();
         std::thread::scope(|s| {
             for tx in 0..4u64 {
                 let gcr = &gc;

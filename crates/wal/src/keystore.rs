@@ -44,7 +44,7 @@ struct Inner {
 pub struct KeyStore {
     window_len: Duration,
     seed: u64,
-    inner: RwLock<Inner>,
+    inner: RwLock<Inner>, // lock-rank: 530
 }
 
 impl KeyStore {
@@ -54,11 +54,14 @@ impl KeyStore {
         KeyStore {
             window_len,
             seed,
-            inner: RwLock::new(Inner {
-                keys: HashMap::new(),
-                shredded: Vec::new(),
-                counter: 0,
-            }),
+            inner: RwLock::ranked(
+                530,
+                Inner {
+                    keys: HashMap::new(),
+                    shredded: Vec::new(),
+                    counter: 0,
+                },
+            ),
         }
     }
 

@@ -99,8 +99,8 @@ impl SegmentHeader {
             return None;
         }
         Some(SegmentHeader {
-            seqno: u64::from_le_bytes(bytes[4..12].try_into().unwrap()),
-            first_lsn: u64::from_le_bytes(bytes[12..20].try_into().unwrap()),
+            seqno: u64::from_le_bytes(bytes[4..12].try_into().unwrap()), // lint:allow(L001, fixed-width slice behind the length check)
+            first_lsn: u64::from_le_bytes(bytes[12..20].try_into().unwrap()), // lint:allow(L001, fixed-width slice behind the length check)
         })
     }
 }
@@ -189,8 +189,8 @@ impl FrameScanner {
         }
         let mut head = [0u8; FRAME_HEADER_LEN as usize];
         self.reader.read_exact(&mut head)?;
-        let len = u32::from_le_bytes(head[0..4].try_into().unwrap()) as u64;
-        let sum = u64::from_le_bytes(head[4..12].try_into().unwrap());
+        let len = u32::from_le_bytes(head[0..4].try_into().unwrap()) as u64; // lint:allow(L001, fixed-width frame-header slice)
+        let sum = u64::from_le_bytes(head[4..12].try_into().unwrap()); // lint:allow(L001, fixed-width frame-header slice)
         if self.pos + FRAME_HEADER_LEN + len > self.file_len {
             return Ok(None); // torn tail
         }

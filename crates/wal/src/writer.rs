@@ -181,7 +181,7 @@ fn reopen_active(
 /// An append-only, segmented write-ahead log.
 pub struct Wal {
     dir: PathBuf,
-    inner: Mutex<WalInner>,
+    inner: Mutex<WalInner>, // lock-rank: 520
     ephemeral: bool,
 }
 
@@ -236,7 +236,7 @@ impl Wal {
                 segment::sync_dir(&dir)?;
                 break;
             }
-            let s = scanned.expect("valid implies scanned");
+            let s = scanned.expect("valid implies scanned"); // lint:allow(L001, a valid prefix implies the segment scanned)
             let torn = s.valid_len < s.file_len;
             if torn {
                 // Trim the torn/corrupt tail so post-recovery appends are
@@ -288,18 +288,21 @@ impl Wal {
 
         Ok(Wal {
             dir: dir.clone(),
-            inner: Mutex::new(WalInner {
-                dir,
-                capacity,
-                sealed: metas,
-                active,
-                next_lsn,
-                syncs: 0,
-                appended: 0,
-                truncated_bytes: 0,
-                rotations: 0,
-                segments_deleted: 0,
-            }),
+            inner: Mutex::ranked(
+                520,
+                WalInner {
+                    dir,
+                    capacity,
+                    sealed: metas,
+                    active,
+                    next_lsn,
+                    syncs: 0,
+                    appended: 0,
+                    truncated_bytes: 0,
+                    rotations: 0,
+                    segments_deleted: 0,
+                },
+            ),
             ephemeral: false,
         })
     }
@@ -314,7 +317,7 @@ impl Wal {
         use std::time::{SystemTime, UNIX_EPOCH};
         let nanos = SystemTime::now()
             .duration_since(UNIX_EPOCH)
-            .unwrap()
+            .unwrap() // lint:allow(L001, a system clock before the Unix epoch is unsupported)
             .as_nanos();
         let path = std::env::temp_dir().join(format!(
             "instantdb-wal-{tag}-{}-{nanos}.log",
@@ -624,7 +627,7 @@ fn convert_legacy(legacy: &Path, dir: &Path, cfg: &SegmentConfig) -> Result<()> 
         let mut head = [0u8; 12];
         reader.read_exact(&mut head)?;
         if &head[0..4] == b"WALB" {
-            base_lsn = u64::from_le_bytes(head[4..12].try_into().unwrap());
+            base_lsn = u64::from_le_bytes(head[4..12].try_into().unwrap()); // lint:allow(L001, fixed-width header slice behind the length check)
             start = 12;
         }
     }

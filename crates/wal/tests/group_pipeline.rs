@@ -46,7 +46,7 @@ fn flush_unsynced(wal: &Wal) {
 #[test]
 fn tear_mid_group_batch_loses_no_acknowledged_commit() {
     let wal = Arc::new(Wal::temp("gp-tear").unwrap());
-    let gc = GroupCommit::spawn(wal.clone(), GroupCommitConfig::default());
+    let gc = GroupCommit::spawn(wal.clone(), GroupCommitConfig::default()).unwrap();
     for tx in 0..5 {
         gc.commit(batch(tx)).unwrap(); // acknowledged ⇒ fsynced
     }
@@ -88,7 +88,8 @@ fn concurrent_commits_all_durable_with_fewer_fsyncs() {
             max_batch: 64,
             max_delay: StdDuration::from_micros(200),
         },
-    );
+    )
+    .unwrap();
     std::thread::scope(|s| {
         for t in 0..THREADS {
             let gc = &gc;
@@ -125,7 +126,7 @@ fn pipeline_commits_then_truncate_round_trip() {
     // segments, and the retained suffix replays with correct LSNs through
     // the streaming scanner.
     let wal = Arc::new(Wal::temp("gp-trunc").unwrap());
-    let gc = GroupCommit::spawn(wal.clone(), GroupCommitConfig::default());
+    let gc = GroupCommit::spawn(wal.clone(), GroupCommitConfig::default()).unwrap();
     for tx in 0..10 {
         gc.commit(batch(tx)).unwrap();
     }

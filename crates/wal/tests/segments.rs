@@ -67,7 +67,7 @@ fn acknowledged_commit_in_segment_n_survives_deletion_of_older_segments() {
     // segment N, every segment below N is deleted, and the acknowledged
     // work still replays in full.
     let wal = Arc::new(Wal::temp("seg-ack").unwrap());
-    let gc = GroupCommit::spawn(wal.clone(), GroupCommitConfig::default());
+    let gc = GroupCommit::spawn(wal.clone(), GroupCommitConfig::default()).unwrap();
     for tx in 0..20 {
         gc.commit(batch(tx)).unwrap();
         if tx % 5 == 4 {
@@ -162,7 +162,7 @@ fn commit_is_acknowledged_while_truncation_runs() {
     let boundary = wal.next_lsn();
     wal.rotate().unwrap();
 
-    let gc = GroupCommit::spawn(wal.clone(), GroupCommitConfig::default());
+    let gc = GroupCommit::spawn(wal.clone(), GroupCommitConfig::default()).unwrap();
     let started = std::time::Instant::now();
     std::thread::scope(|s| {
         let wal_t = wal.clone();

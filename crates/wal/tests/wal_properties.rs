@@ -115,7 +115,7 @@ proptest! {
         // suffix (a drain the crash interrupted) must leave the
         // acknowledged records intact, in order.
         let wal = Arc::new(Wal::temp("prop-group").unwrap());
-        let gc = GroupCommit::spawn(wal.clone(), GroupCommitConfig::default());
+        let gc = GroupCommit::spawn(wal.clone(), GroupCommitConfig::default()).unwrap();
         let mut acknowledged = Vec::new();
         for b in &batches {
             acknowledged.extend(b.iter().cloned());

@@ -224,7 +224,7 @@ fn background_daemon_degrades_while_foreground_inserts_and_reads() {
         )
         .unwrap();
     }
-    let daemon = DegradationDaemon::spawn(db.clone(), std::time::Duration::from_millis(1));
+    let daemon = DegradationDaemon::spawn(db.clone(), std::time::Duration::from_millis(1)).unwrap();
 
     // Make the first batch due while foreground work keeps running.
     clock.advance(Duration::hours(2));

@@ -246,7 +246,7 @@ fn recovery_round_trip_through_background_checkpoint_and_truncate() {
         }
         // Background checkpoint: flush → Checkpoint record through the
         // pipeline → physical truncation of the dead prefix.
-        let ckpt = Checkpointer::spawn(db.clone(), std::time::Duration::from_millis(1));
+        let ckpt = Checkpointer::spawn(db.clone(), std::time::Duration::from_millis(1)).unwrap();
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
         while db.wal().unwrap().base_lsn() == 0 && std::time::Instant::now() < deadline {
             std::thread::yield_now();
