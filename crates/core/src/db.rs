@@ -763,6 +763,7 @@ impl Db {
     /// can never persist a half-done unlogged user operation.
     pub fn checkpoint(&self) -> Result<()> {
         let _serial = self.ckpt_serial.lock();
+        // lint:allow(L102, ckpt_serial exists to serialize whole checkpoints including their flush and fsync)
         self.checkpoint_serial_held()
     }
 
@@ -772,6 +773,7 @@ impl Db {
     fn try_checkpoint(&self) -> Result<bool> {
         match self.ckpt_serial.try_lock() {
             Some(_serial) => {
+                // lint:allow(L102, ckpt_serial exists to serialize whole checkpoints including their flush and fsync)
                 self.checkpoint_serial_held()?;
                 Ok(true)
             }
@@ -784,6 +786,7 @@ impl Db {
         let ckpt_lsn = {
             let _excl = self.ckpt_gate.write();
             let now = self.now();
+            // lint:allow(L102, the checkpoint flush must run under the gate's exclusive side so no user op mutates pages mid-flush)
             self.pool.flush_all()?;
             // Rotate so the Checkpoint record starts a fresh segment:
             // everything before it then lives in wholly-dead segments the
@@ -801,6 +804,7 @@ impl Db {
             // unsynced batch. We hold the gate's exclusive side, so go to
             // the pipeline (or the inline appender) directly rather than
             // re-entering `commit_records`' shared side.
+            // lint:allow(L102, the checkpoint record must be appended while the gate is exclusively held so it cannot interleave with a committer's batch)
             let ckpt_lsn = match &self.group {
                 Some(g) => Some(g.commit(vec![LogRecord::Checkpoint { at: now }])?),
                 None => self.append_sync(&[LogRecord::Checkpoint { at: now }])?,

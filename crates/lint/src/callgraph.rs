@@ -1,0 +1,909 @@
+//! Workspace call graph and flow rules: L101 (static lock-order), L102
+//! (blocking I/O under an exclusive ranked lock) and L006 (swallowed
+//! `Result`).
+//!
+//! The analysis is a classic bottom-up summary fixpoint over a
+//! heuristically-resolved call graph:
+//!
+//! 1. every parsed function gets a **summary** — the set of lock ranks it
+//!    may (transitively) acquire with a blocking acquisition, whether it
+//!    may (transitively) reach a blocking-I/O syscall, and the ranks it
+//!    holds at the point it invokes a closure parameter (`with_frame`-
+//!    style latch APIs);
+//! 2. summaries propagate along call edges until a fixpoint;
+//! 3. a final intra-procedural walk re-plays each function body with a
+//!    scoped held-lock set (guards die at `drop(g)`, their binding
+//!    block's end, or — for temporaries — their statement's end) and
+//!    reports violations with a **witness path** into the callee chain.
+//!
+//! Name resolution is deliberately heuristic (see [`Resolver`]): `self`-
+//! rooted receiver chains follow struct-field types; everything else
+//! falls back to a workspace-unique method name, with a stop-list of
+//! ubiquitous std method names so `stream.flush()` never resolves to a
+//! workspace function. Unresolvable constructs are skipped — the
+//! analysis under-approximates on resolution and over-approximates on
+//! guard lifetime, which keeps false positives rare and makes every
+//! report worth reading.
+//!
+//! Mirrored dynamic semantics (the `parking_lot` shim's debug checker):
+//! blocking acquisitions of rank `r₂` while any rank `r₁ ≥ r₂` is held
+//! are violations; `try_*` acquisitions are tracked but never checked;
+//! unranked locks are exempt.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::parser::{AcquireOp, Block, CallTarget, FnDef, Node, ParsedFile, Stmt};
+use crate::rules::Violation;
+use crate::source::SourceFile;
+
+/// Method names that must never resolve through the global unique-name
+/// fallback: they collide with std trait methods on locals the parser
+/// cannot type (`stream.flush()`, `handle.join()`, …).
+const GENERIC_METHOD_NAMES: &[&str] = &[
+    "read",
+    "write",
+    "lock",
+    "flush",
+    "next",
+    "clone",
+    "join",
+    "send",
+    "recv",
+    "wait",
+    "drop",
+    "len",
+    "is_empty",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "iter",
+    "into_iter",
+    "fmt",
+    "eq",
+    "cmp",
+    "hash",
+    "from",
+    "into",
+    "default",
+    "new",
+    "as_ref",
+    "as_mut",
+    "to_string",
+    "parse",
+    "map",
+    "and_then",
+    "unwrap_or_else",
+    "take",
+    "contains",
+    "extend",
+    "clear",
+    "start",
+    "run",
+    "close",
+    "open",
+    "seek",
+    // `OpenOptions::append(bool)` — would otherwise mis-resolve to
+    // `Wal::append` through the unique-name fallback.
+    "append",
+];
+
+/// One function in the graph.
+struct FnData {
+    /// Index into the analysis' file list.
+    file: usize,
+    display: String,
+    owner: Option<String>,
+    returns_result: bool,
+}
+
+/// Where a summarized effect comes from, for witness reconstruction.
+#[derive(Debug, Clone)]
+enum Origin {
+    /// The effect happens directly in this function at `line`.
+    Direct { line: u32 },
+    /// The effect is reached through a call at `line` to `callee`.
+    Via { callee: usize, line: u32 },
+}
+
+/// Per-function effect summary (grows monotonically to a fixpoint).
+#[derive(Default, Clone)]
+struct Summary {
+    /// Ranks this function may acquire with a *blocking* acquisition,
+    /// directly or transitively.
+    may_acquire: BTreeMap<u32, Origin>,
+    /// Blocking I/O (fsync / write / flush syscalls) reachable from this
+    /// function.
+    io: Option<(&'static str, Origin)>,
+    /// Ranks held at the point this function invokes one of its closure
+    /// parameters (with the acquisition line, for diagnostics).
+    callback_holds: BTreeMap<u32, u32>,
+}
+
+/// A lock held during the intra-procedural walk.
+#[derive(Debug, Clone)]
+struct Held {
+    rank: u32,
+    line: u32,
+    /// `lock()` / `write()` / `try_lock` / `try_write` (mutual
+    /// exclusion); `read()` is shared.
+    exclusive: bool,
+    binding: Option<String>,
+    /// Unbound guards die at the end of their statement.
+    temp: bool,
+    /// Synthetic entries injected for closure bodies analyzed under a
+    /// callee's callback-held ranks.
+    synthetic: bool,
+}
+
+/// The resolver's view of the workspace's types.
+struct Resolver {
+    /// struct name → field name → identifiers in the field's type.
+    fields: HashMap<String, HashMap<String, Vec<String>>>,
+    /// struct name → lock-field name → rank (`None` = unranked/exempt).
+    lock_fields: HashMap<String, HashMap<String, Option<u32>>>,
+    /// lock-field name → (owning struct, rank) candidates.
+    lock_candidates: HashMap<String, Vec<(String, Option<u32>)>>,
+    /// "Owner::name" and free "name" → fn ids.
+    by_qual: HashMap<String, Vec<usize>>,
+    /// method/function name → fn ids (all owners).
+    by_name: HashMap<String, Vec<usize>>,
+    /// fn id → workspace-relative path of its defining file (used to
+    /// disambiguate `module::free_fn` calls by module name).
+    fn_paths: Vec<String>,
+}
+
+impl Resolver {
+    /// Resolve a receiver chain ending in a (potential) lock field.
+    /// `Some(Some(rank))`: a ranked lock. `Some(None)`: an unranked lock
+    /// (tracked as exempt). `None`: not resolvable to a lock.
+    fn resolve_lock(
+        &self,
+        chain: &[String],
+        rooted: bool,
+        owner: Option<&str>,
+    ) -> Option<Option<u32>> {
+        let field = chain.last()?;
+        // Precise: self-rooted chain walked through struct field types.
+        if rooted && chain.first().map(String::as_str) == Some("self") {
+            if let Some(owner) = owner {
+                if let Some(found) = self.walk_chain(owner, &chain[1..]) {
+                    return Some(found);
+                }
+            }
+        }
+        // Heuristic: candidates by field name, disambiguated by the
+        // penultimate chain element when it names a field of some struct
+        // whose type mentions the candidate's owner.
+        let candidates = self.lock_candidates.get(field)?;
+        if candidates.is_empty() {
+            return None;
+        }
+        if candidates.len() == 1 {
+            return Some(candidates[0].1);
+        }
+        if chain.len() >= 2 {
+            let penult = &chain[chain.len() - 2];
+            let filtered: Vec<&(String, Option<u32>)> = candidates
+                .iter()
+                .filter(|(owner_struct, _)| {
+                    self.fields.values().any(|fields| {
+                        fields
+                            .get(penult)
+                            .is_some_and(|tys| tys.iter().any(|t| t == owner_struct))
+                    })
+                })
+                .collect();
+            if filtered.len() == 1 {
+                return Some(filtered[0].1);
+            }
+            // All remaining candidates agreeing on the rank is as good
+            // as unique.
+            if let Some((_, first)) = filtered.first() {
+                if filtered.iter().all(|(_, r)| r == first) {
+                    return Some(*first);
+                }
+            }
+        }
+        let first = candidates[0].1;
+        if candidates.iter().all(|(_, r)| *r == first) {
+            return Some(first);
+        }
+        None
+    }
+
+    /// Walk `self.f1.f2…` field types from struct `start`; returns the
+    /// lock rank if the final segment is a lock field.
+    fn walk_chain(&self, start: &str, rest: &[String]) -> Option<Option<u32>> {
+        let (last, mids) = rest.split_last()?;
+        let mut cur = start.to_string();
+        for mid in mids {
+            let tys = self.fields.get(&cur)?.get(mid)?;
+            cur = tys
+                .iter()
+                .find(|t| self.fields.contains_key(*t) || self.lock_fields.contains_key(*t))?
+                .clone();
+        }
+        self.lock_fields.get(&cur)?.get(last).copied().map(Some)?
+    }
+
+    /// Resolve the type a `self.f1.f2…` chain lands on (for method
+    /// dispatch), if every hop goes through a known struct.
+    fn chain_type(&self, start: &str, rest: &[String]) -> Option<String> {
+        let mut cur = start.to_string();
+        for seg in rest {
+            let tys = self.fields.get(&cur)?.get(seg)?;
+            cur = tys.iter().find(|t| self.fields.contains_key(*t))?.clone();
+        }
+        Some(cur)
+    }
+
+    /// Resolve a call target to workspace function ids. Empty = external
+    /// or ambiguous (skipped by the analysis).
+    fn resolve_call(&self, target: &CallTarget, owner: Option<&str>) -> Vec<usize> {
+        match target {
+            CallTarget::Method {
+                chain,
+                name,
+                rooted,
+            } => {
+                if *rooted && chain.first().map(String::as_str) == Some("self") {
+                    if let Some(owner) = owner {
+                        if let Some(ty) = self.chain_type(owner, &chain[1..]) {
+                            if let Some(ids) = self.by_qual.get(&format!("{ty}::{name}")) {
+                                return ids.clone();
+                            }
+                        }
+                    }
+                }
+                self.unique_by_name(name)
+            }
+            CallTarget::Path { segments } => match segments.as_slice() {
+                [] => Vec::new(),
+                [name] => {
+                    // Bare call: free function, only if workspace-unique
+                    // (ambiguous names like the two `write_frame`s would
+                    // otherwise produce wrong witness paths).
+                    match self.by_qual.get(name.as_str()) {
+                        Some(ids) if ids.len() == 1 => ids.clone(),
+                        _ => Vec::new(),
+                    }
+                }
+                [.., ty, name] => {
+                    let ty = if ty == "Self" {
+                        owner.unwrap_or(ty.as_str())
+                    } else {
+                        ty.as_str()
+                    };
+                    if let Some(ids) = self.by_qual.get(&format!("{ty}::{name}")) {
+                        return ids.clone();
+                    }
+                    // `module::free_fn(...)`: disambiguate candidates by
+                    // the module segment matching the defining file.
+                    let Some(ids) = self.by_qual.get(name.as_str()) else {
+                        return Vec::new();
+                    };
+                    if ids.len() == 1 {
+                        return ids.clone();
+                    }
+                    let in_module: Vec<usize> = ids
+                        .iter()
+                        .copied()
+                        .filter(|&id| {
+                            let p = &self.fn_paths[id];
+                            p.ends_with(&format!("/{ty}.rs")) || p.contains(&format!("/{ty}/"))
+                        })
+                        .collect();
+                    if in_module.len() == 1 {
+                        in_module
+                    } else {
+                        Vec::new()
+                    }
+                }
+            },
+        }
+    }
+
+    /// Global fallback: the method name resolves iff it is workspace-
+    /// unique and not a ubiquitous std name.
+    fn unique_by_name(&self, name: &str) -> Vec<usize> {
+        if GENERIC_METHOD_NAMES.contains(&name) {
+            return Vec::new();
+        }
+        match self.by_name.get(name) {
+            Some(ids) if ids.len() == 1 => ids.clone(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// The whole-workspace flow analysis.
+pub struct Analysis<'a> {
+    files: &'a [(SourceFile, ParsedFile)],
+    /// Parallel to the flattened fn list.
+    fns: Vec<FnData>,
+    defs: Vec<(usize, usize)>, // (file idx, fn idx within file)
+    resolver: Resolver,
+    summaries: Vec<Summary>,
+}
+
+impl<'a> Analysis<'a> {
+    /// Build tables and run the summary fixpoint. `files` should already
+    /// exclude shims and fixtures.
+    pub fn build(files: &'a [(SourceFile, ParsedFile)]) -> Analysis<'a> {
+        let mut fns = Vec::new();
+        let mut defs = Vec::new();
+        let mut resolver = Resolver {
+            fields: HashMap::new(),
+            lock_fields: HashMap::new(),
+            lock_candidates: HashMap::new(),
+            by_qual: HashMap::new(),
+            by_name: HashMap::new(),
+            fn_paths: Vec::new(),
+        };
+        for (fi, (_, parsed)) in files.iter().enumerate() {
+            for s in &parsed.structs {
+                let fields = resolver.fields.entry(s.name.clone()).or_default();
+                for f in &s.fields {
+                    fields.insert(f.name.clone(), f.type_idents.clone());
+                    if f.is_lock {
+                        resolver
+                            .lock_fields
+                            .entry(s.name.clone())
+                            .or_default()
+                            .insert(f.name.clone(), f.rank);
+                        resolver
+                            .lock_candidates
+                            .entry(f.name.clone())
+                            .or_default()
+                            .push((s.name.clone(), f.rank));
+                    }
+                }
+            }
+            for (di, d) in parsed.fns.iter().enumerate() {
+                if d.is_test {
+                    continue;
+                }
+                let id = fns.len();
+                let display = match &d.owner {
+                    Some(o) => format!("{o}::{}", d.name),
+                    None => d.name.clone(),
+                };
+                resolver
+                    .by_qual
+                    .entry(match &d.owner {
+                        Some(o) => format!("{o}::{}", d.name),
+                        None => d.name.clone(),
+                    })
+                    .or_default()
+                    .push(id);
+                resolver.by_name.entry(d.name.clone()).or_default().push(id);
+                resolver.fn_paths.push(files[fi].0.ctx.rel_path.clone());
+                fns.push(FnData {
+                    file: fi,
+                    display,
+                    owner: d.owner.clone(),
+                    returns_result: d.returns_result,
+                });
+                defs.push((fi, di));
+            }
+        }
+        let mut analysis = Analysis {
+            files,
+            fns,
+            defs,
+            resolver,
+            summaries: Vec::new(),
+        };
+        analysis.compute_summaries();
+        analysis
+    }
+
+    fn def(&self, id: usize) -> &FnDef {
+        let (fi, di) = self.defs[id];
+        &self.files[fi].1.fns[di]
+    }
+
+    fn file_of(&self, id: usize) -> &SourceFile {
+        &self.files[self.fns[id].file].0
+    }
+
+    /// Phase 1 + 2: direct facts, then propagate over call edges until
+    /// nothing changes.
+    fn compute_summaries(&mut self) {
+        let n = self.fns.len();
+        let mut summaries = vec![Summary::default(); n];
+        // Per-fn call edges: (callees, line).
+        let mut edges: Vec<Vec<(Vec<usize>, u32)>> = vec![Vec::new(); n];
+
+        for id in 0..n {
+            let owner = self.fns[id].owner.clone();
+            let def = self.def(id);
+            let mut walker = DirectWalker {
+                resolver: &self.resolver,
+                owner: owner.as_deref(),
+                closure_params: &def.closure_params,
+                summary: &mut summaries[id],
+                edges: &mut edges[id],
+                held: Vec::new(),
+            };
+            walker.block(&def.body);
+        }
+
+        // Fixpoint: merge callee summaries into callers.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for id in 0..n {
+                for (callees, line) in edges[id].clone() {
+                    for &callee in &callees {
+                        if callee == id {
+                            continue;
+                        }
+                        let callee_sum = summaries[callee].clone();
+                        let sum = &mut summaries[id];
+                        for &rank in callee_sum.may_acquire.keys() {
+                            sum.may_acquire.entry(rank).or_insert_with(|| {
+                                changed = true;
+                                Origin::Via { callee, line }
+                            });
+                        }
+                        if sum.io.is_none() {
+                            if let Some((what, _)) = callee_sum.io {
+                                sum.io = Some((what, Origin::Via { callee, line }));
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.summaries = summaries;
+    }
+
+    /// Render the witness path from `id`'s effect on `rank` down to the
+    /// acquisition site: "`A::b` → `C::d` → acquires rank N at file:line".
+    fn acquire_witness(&self, id: usize, rank: u32) -> String {
+        let mut path = vec![format!("`{}`", self.fns[id].display)];
+        let mut cur = id;
+        let mut seen = HashSet::new();
+        loop {
+            if !seen.insert(cur) {
+                path.push("…".to_string());
+                break;
+            }
+            match self.summaries[cur].may_acquire.get(&rank) {
+                Some(Origin::Direct { line }) => {
+                    path.push(format!(
+                        "acquires rank {rank} at {}:{line}",
+                        self.file_of(cur).ctx.rel_path
+                    ));
+                    break;
+                }
+                Some(Origin::Via { callee, line }) => {
+                    path.push(format!(
+                        "`{}` ({}:{line})",
+                        self.fns[*callee].display,
+                        self.file_of(cur).ctx.rel_path
+                    ));
+                    cur = *callee;
+                }
+                None => break,
+            }
+        }
+        path.join(" → ")
+    }
+
+    /// Witness path for a transitive blocking-I/O effect.
+    fn io_witness(&self, id: usize) -> String {
+        let mut path = vec![format!("`{}`", self.fns[id].display)];
+        let mut cur = id;
+        let mut seen = HashSet::new();
+        loop {
+            if !seen.insert(cur) {
+                path.push("…".to_string());
+                break;
+            }
+            match &self.summaries[cur].io {
+                Some((what, Origin::Direct { line })) => {
+                    path.push(format!(
+                        "{what} syscall at {}:{line}",
+                        self.file_of(cur).ctx.rel_path
+                    ));
+                    break;
+                }
+                Some((_, Origin::Via { callee, line })) => {
+                    path.push(format!(
+                        "`{}` ({}:{line})",
+                        self.fns[*callee].display,
+                        self.file_of(cur).ctx.rel_path
+                    ));
+                    cur = *callee;
+                }
+                None => break,
+            }
+        }
+        path.join(" → ")
+    }
+
+    /// Phase 3: walk every function and report L101/L102 violations.
+    pub fn check_flow(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for id in 0..self.fns.len() {
+            let def = self.def(id);
+            let file = self.file_of(id);
+            let mut walker = CheckWalker {
+                analysis: self,
+                file,
+                owner: self.fns[id].owner.as_deref(),
+                held: Vec::new(),
+                out: &mut out,
+            };
+            walker.block(&def.body);
+        }
+        out
+    }
+
+    /// L006: `let _ = <workspace call returning Result>` in the hot-path
+    /// crates' non-test code.
+    pub fn check_swallowed_results(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for id in 0..self.fns.len() {
+            let file = self.file_of(id);
+            if !file.ctx.panic_hygiene_applies() {
+                continue;
+            }
+            let owner = self.fns[id].owner.as_deref();
+            self.l006_block(&self.def(id).body, file, owner, &mut out);
+        }
+        out
+    }
+
+    fn l006_block(
+        &self,
+        block: &Block,
+        file: &SourceFile,
+        owner: Option<&str>,
+        out: &mut Vec<Violation>,
+    ) {
+        for stmt in &block.stmts {
+            if stmt.let_underscore {
+                // The last top-level call of the statement is the
+                // outermost expression.
+                let last_call = stmt.nodes.iter().rev().find_map(|n| match n {
+                    Node::Call {
+                        target, line, col, ..
+                    } => Some((target, *line, *col)),
+                    _ => None,
+                });
+                if let Some((target, line, col)) = last_call {
+                    let callees = self.resolver.resolve_call(target, owner);
+                    let result_fn = callees
+                        .iter()
+                        .find(|&&c| self.fns[c].returns_result)
+                        .map(|&c| self.fns[c].display.clone());
+                    if let Some(name) = result_fn {
+                        if !file.allows("L006", line) && !file.in_test_code(line) {
+                            out.push(Violation {
+                                file: file.ctx.rel_path.clone(),
+                                line,
+                                col,
+                                rule: "L006",
+                                message: format!(
+                                    "`let _ =` swallows the `Result` of `{name}`: handle or \
+                                     propagate the error, or justify with \
+                                     `// lint:allow(L006, reason)`"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            for n in &stmt.nodes {
+                match n {
+                    Node::Nested(b) => self.l006_block(b, file, owner, out),
+                    Node::Call { closures, .. } => {
+                        for b in closures {
+                            self.l006_block(b, file, owner, out);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Phase-1 walker: collects a function's direct acquires, direct I/O,
+/// call edges and callback-held ranks, tracking its own held set so
+/// `callback_holds` is accurate.
+struct DirectWalker<'r> {
+    resolver: &'r Resolver,
+    owner: Option<&'r str>,
+    closure_params: &'r [String],
+    summary: &'r mut Summary,
+    edges: &'r mut Vec<(Vec<usize>, u32)>,
+    held: Vec<Held>,
+}
+
+impl DirectWalker<'_> {
+    fn block(&mut self, block: &Block) {
+        let base = self.held.len();
+        for stmt in &block.stmts {
+            self.stmt(stmt);
+            self.held.retain(|h| !h.temp || h.synthetic);
+        }
+        self.held.truncate(base);
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        for n in &stmt.nodes {
+            self.node(n);
+        }
+    }
+
+    fn node(&mut self, node: &Node) {
+        match node {
+            Node::Acquire {
+                chain,
+                rooted,
+                op,
+                binding,
+                line,
+                ..
+            } => {
+                let Some(rank) = self.resolver.resolve_lock(chain, *rooted, self.owner) else {
+                    return;
+                };
+                if let Some(rank) = rank {
+                    if op.is_blocking() {
+                        self.summary
+                            .may_acquire
+                            .entry(rank)
+                            .or_insert(Origin::Direct { line: *line });
+                    }
+                    self.held.push(Held {
+                        rank,
+                        line: *line,
+                        exclusive: !matches!(op, AcquireOp::Read | AcquireOp::TryRead),
+                        binding: binding.clone(),
+                        temp: binding.is_none(),
+                        synthetic: false,
+                    });
+                }
+            }
+            Node::DropGuard { name } => {
+                if let Some(i) = self
+                    .held
+                    .iter()
+                    .rposition(|h| h.binding.as_deref() == Some(name))
+                {
+                    self.held.remove(i);
+                }
+            }
+            Node::Io { line, .. } => {
+                self.summary
+                    .io
+                    .get_or_insert(("io", Origin::Direct { line: *line }));
+                // (The direct kind is refined below; keep the first.)
+            }
+            Node::Call {
+                target,
+                closures,
+                line,
+                ..
+            } => {
+                // Closure-parameter invocation: record what is held here.
+                if let CallTarget::Path { segments } = target {
+                    if let [name] = segments.as_slice() {
+                        if self.closure_params.iter().any(|p| p == name) {
+                            for h in &self.held {
+                                self.summary.callback_holds.entry(h.rank).or_insert(h.line);
+                            }
+                        }
+                    }
+                }
+                let callees = self.resolver.resolve_call(target, self.owner);
+                if !callees.is_empty() {
+                    self.edges.push((callees, *line));
+                }
+                for b in closures {
+                    self.block(b);
+                }
+            }
+            Node::Nested(b) => self.block(b),
+        }
+    }
+}
+
+/// Phase-3 walker: re-plays a function with full summaries available and
+/// reports violations.
+struct CheckWalker<'r, 'o> {
+    analysis: &'r Analysis<'r>,
+    file: &'r SourceFile,
+    owner: Option<&'r str>,
+    held: Vec<Held>,
+    out: &'o mut Vec<Violation>,
+}
+
+impl CheckWalker<'_, '_> {
+    fn max_held(&self) -> Option<&Held> {
+        self.held.iter().max_by_key(|h| h.rank)
+    }
+
+    fn max_exclusive_held(&self) -> Option<&Held> {
+        self.held
+            .iter()
+            .filter(|h| h.exclusive)
+            .max_by_key(|h| h.rank)
+    }
+
+    fn violation(&mut self, rule: &'static str, line: u32, col: u32, message: String) {
+        if self.file.allows(rule, line) || self.file.in_test_code(line) {
+            return;
+        }
+        self.out.push(Violation {
+            file: self.file.ctx.rel_path.clone(),
+            line,
+            col,
+            rule,
+            message,
+        });
+    }
+
+    fn block(&mut self, block: &Block) {
+        let base = self.held.len();
+        for stmt in &block.stmts {
+            for n in &stmt.nodes {
+                self.node(n);
+            }
+            self.held.retain(|h| !h.temp || h.synthetic);
+        }
+        self.held.truncate(base);
+    }
+
+    fn node(&mut self, node: &Node) {
+        match node {
+            Node::Acquire {
+                chain,
+                rooted,
+                op,
+                binding,
+                line,
+                col,
+            } => {
+                let resolver = &self.analysis.resolver;
+                let Some(rank) = resolver.resolve_lock(chain, *rooted, self.owner) else {
+                    return;
+                };
+                if let Some(rank) = rank {
+                    if op.is_blocking() {
+                        if let Some(h) = self.max_held().filter(|h| h.rank >= rank).cloned() {
+                            self.violation(
+                                "L101",
+                                *line,
+                                *col,
+                                format!(
+                                    "lock-order inversion: blocking acquisition of rank {rank} \
+                                     while rank {} is held (acquired at {}:{}); ranks must \
+                                     strictly increase (see INVARIANTS.md)",
+                                    h.rank, self.file.ctx.rel_path, h.line
+                                ),
+                            );
+                        }
+                    }
+                    self.held.push(Held {
+                        rank,
+                        line: *line,
+                        exclusive: !matches!(op, AcquireOp::Read | AcquireOp::TryRead),
+                        binding: binding.clone(),
+                        temp: binding.is_none(),
+                        synthetic: false,
+                    });
+                }
+            }
+            Node::DropGuard { name } => {
+                if let Some(i) = self
+                    .held
+                    .iter()
+                    .rposition(|h| h.binding.as_deref() == Some(name))
+                {
+                    self.held.remove(i);
+                }
+            }
+            Node::Io { what, line, col } => {
+                if let Some(h) = self.max_exclusive_held().cloned() {
+                    self.violation(
+                        "L102",
+                        *line,
+                        *col,
+                        format!(
+                            "blocking {what} while holding exclusive lock-rank {} (acquired at \
+                             {}:{}): move the I/O outside the critical section, or justify with \
+                             `// lint:allow(L102, reason)`",
+                            h.rank, self.file.ctx.rel_path, h.line
+                        ),
+                    );
+                }
+            }
+            Node::Call {
+                target,
+                closures,
+                line,
+                col,
+            } => {
+                let callees = self.analysis.resolver.resolve_call(target, self.owner);
+                if let Some(h) = self.max_held().cloned() {
+                    // L101: the callee may acquire a rank at or below the
+                    // highest rank held here.
+                    let mut worst: Option<(usize, u32)> = None;
+                    for &callee in &callees {
+                        for &rank in self.analysis.summaries[callee].may_acquire.keys() {
+                            if rank <= h.rank && worst.map_or(true, |(_, w)| rank < w) {
+                                worst = Some((callee, rank));
+                            }
+                        }
+                    }
+                    if let Some((callee, rank)) = worst {
+                        let witness = self.analysis.acquire_witness(callee, rank);
+                        self.violation(
+                            "L101",
+                            *line,
+                            *col,
+                            format!(
+                                "lock-order inversion: this call may acquire rank {rank} while \
+                                 rank {} is held (acquired at {}:{}): {witness}; ranks must \
+                                 strictly increase (see INVARIANTS.md)",
+                                h.rank, self.file.ctx.rel_path, h.line
+                            ),
+                        );
+                    }
+                }
+                if let Some(h) = self.max_exclusive_held().cloned() {
+                    if let Some(&callee) = callees
+                        .iter()
+                        .find(|&&c| self.analysis.summaries[c].io.is_some())
+                    {
+                        let witness = self.analysis.io_witness(callee);
+                        self.violation(
+                            "L102",
+                            *line,
+                            *col,
+                            format!(
+                                "blocking I/O reachable while holding exclusive lock-rank {} \
+                                 (acquired at {}:{}): {witness}; move the I/O outside the \
+                                 critical section, or justify with `// lint:allow(L102, reason)`",
+                                h.rank, self.file.ctx.rel_path, h.line
+                            ),
+                        );
+                    }
+                }
+                // Closure arguments run under whatever the callee holds
+                // when it invokes its callback (with_frame-style APIs).
+                let mut injected = 0usize;
+                for &callee in &callees {
+                    for (&rank, &cline) in &self.analysis.summaries[callee].callback_holds {
+                        self.held.push(Held {
+                            rank,
+                            line: cline,
+                            exclusive: true,
+                            binding: None,
+                            temp: false,
+                            synthetic: true,
+                        });
+                        injected += 1;
+                    }
+                }
+                for b in closures {
+                    self.block(b);
+                }
+                for _ in 0..injected {
+                    self.held.pop();
+                }
+            }
+            Node::Nested(b) => self.block(b),
+        }
+    }
+}

@@ -1,0 +1,1158 @@
+//! A lightweight item/function parser on top of the lexer: just enough
+//! structure for the call-graph rules (L101/L102) and the swallowed-
+//! Result rule (L006).
+//!
+//! From each file's token stream it extracts:
+//!
+//! * **struct definitions** — field names, the identifiers appearing in
+//!   each field's type (for receiver-chain resolution), and the
+//!   `lock-rank:` annotation if the field is a `Mutex`/`RwLock`;
+//! * **functions** (free and in `impl` blocks) — owner type, whether the
+//!   return type mentions `Result`, which parameters are closures, and a
+//!   structured **body**: a tree of blocks and statements whose nodes are
+//!   the four events the flow analysis cares about — ranked-lock
+//!   acquisitions, explicit `drop(guard)` calls, function/method calls
+//!   (with closure arguments parsed as sub-blocks, so `with_frame`-style
+//!   latch APIs can be modelled), and blocking-I/O leaves
+//!   (`sync_all`/`sync_data`/`write_all`/`flush`).
+//!
+//! This is a heuristic parser, not a compiler front-end: it never
+//! resolves types beyond following struct-field chains, and constructs it
+//! does not understand are simply skipped. The analysis built on top
+//! (`callgraph`) is designed so an unparsed construct can only *miss* a
+//! finding, never invent one.
+
+use crate::lexer::{Tok, TokKind};
+use crate::source::{RankAnnotation, SourceFile};
+
+/// A struct definition with the fields the resolver needs.
+#[derive(Debug)]
+pub struct StructDef {
+    pub name: String,
+    pub fields: Vec<FieldDef>,
+}
+
+/// One struct field: its name, every identifier mentioned in its type
+/// (`shared: Arc<Shared>` → `["Arc", "Shared"]`), and its lock rank if
+/// the type is a `Mutex<…>`/`RwLock<…>` with a `lock-rank:` annotation.
+#[derive(Debug)]
+pub struct FieldDef {
+    pub name: String,
+    pub type_idents: Vec<String>,
+    pub is_lock: bool,
+    /// `Some(rank)` for `// lock-rank: <N>`; `None` for unranked /
+    /// unannotated locks (both are exempt from flow checking — L002
+    /// already polices annotation presence).
+    pub rank: Option<u32>,
+    pub line: u32,
+}
+
+/// How a lock is acquired; mirrors the shim's API surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcquireOp {
+    Lock,
+    Read,
+    Write,
+    TryLock,
+    TryRead,
+    TryWrite,
+}
+
+impl AcquireOp {
+    pub fn from_name(name: &str) -> Option<AcquireOp> {
+        Some(match name {
+            "lock" => AcquireOp::Lock,
+            "read" => AcquireOp::Read,
+            "write" => AcquireOp::Write,
+            "try_lock" => AcquireOp::TryLock,
+            "try_read" => AcquireOp::TryRead,
+            "try_write" => AcquireOp::TryWrite,
+            _ => return None,
+        })
+    }
+
+    /// Non-blocking acquisitions are tracked but never rank-checked
+    /// (mirroring the dynamic checker: `try_*` cannot deadlock).
+    pub fn is_blocking(self) -> bool {
+        matches!(self, AcquireOp::Lock | AcquireOp::Read | AcquireOp::Write)
+    }
+}
+
+/// Callee shape of a [`Node::Call`].
+#[derive(Debug, Clone)]
+pub enum CallTarget {
+    /// `recv.m(...)`: the receiver is a `.`-separated chain of field
+    /// accesses. `rooted` is true when the chain starts at `self` or a
+    /// plain identifier (so field-type resolution may apply); false when
+    /// the receiver is a computed expression (`foo().m(...)`).
+    Method {
+        chain: Vec<String>,
+        name: String,
+        rooted: bool,
+    },
+    /// `m(...)` or `a::b::m(...)`: path segments, last one the function
+    /// name. A bare call has one segment.
+    Path { segments: Vec<String> },
+}
+
+impl CallTarget {
+    pub fn name(&self) -> &str {
+        match self {
+            CallTarget::Method { name, .. } => name,
+            CallTarget::Path { segments } => segments.last().map(String::as_str).unwrap_or(""),
+        }
+    }
+}
+
+/// One flow-relevant event (or nested scope) inside a statement.
+#[derive(Debug)]
+pub enum Node {
+    /// `chain.lock()` / `.read()` / `.write()` / `try_*()` on a receiver
+    /// chain ending in a (potential) lock field.
+    Acquire {
+        chain: Vec<String>,
+        rooted: bool,
+        op: AcquireOp,
+        binding: Option<String>,
+        line: u32,
+        col: u32,
+    },
+    /// `drop(guard)` / `std::mem::drop(guard)` with a plain identifier.
+    DropGuard { name: String },
+    /// A function or method call, with any closure-literal arguments
+    /// parsed into their own blocks.
+    Call {
+        target: CallTarget,
+        closures: Vec<Block>,
+        line: u32,
+        col: u32,
+    },
+    /// A blocking-I/O leaf: `sync_all`/`sync_data`/`write_all`/`flush`.
+    Io {
+        what: &'static str,
+        line: u32,
+        col: u32,
+    },
+    /// A nested `{ ... }` scope (block expression, match body, loop
+    /// body): guards bound inside it die at its end.
+    Nested(Block),
+}
+
+/// A `;`-terminated statement's events, in source order.
+#[derive(Debug, Default)]
+pub struct Stmt {
+    pub nodes: Vec<Node>,
+    /// Statement began with `let _ =` (the L006 swallowed-Result shape).
+    pub let_underscore: bool,
+    pub line: u32,
+}
+
+/// A braced scope.
+#[derive(Debug, Default)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+}
+
+/// A parsed function (free or method).
+#[derive(Debug)]
+pub struct FnDef {
+    /// `impl` type for methods (`Db` for `impl Db { fn f }`), `None` for
+    /// free functions.
+    pub owner: Option<String>,
+    pub name: String,
+    pub line: u32,
+    pub returns_result: bool,
+    /// Parameter names whose types are closures (`impl Fn…`, or a
+    /// generic parameter bounded by `Fn…`).
+    pub closure_params: Vec<String>,
+    pub body: Block,
+    /// Inside `#[test]`/`#[cfg(test)]` code: excluded from flow analysis
+    /// (tests deliberately exercise inversions).
+    pub is_test: bool,
+}
+
+/// Everything the call-graph pass needs from one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    pub structs: Vec<StructDef>,
+    pub fns: Vec<FnDef>,
+}
+
+/// Parse the item structure of `file`.
+pub fn parse_file(file: &SourceFile) -> ParsedFile {
+    let mut p = Parser {
+        file,
+        toks: file.tokens(),
+        out: ParsedFile::default(),
+    };
+    p.parse_items(0, file.tokens().len(), None);
+    p.out
+}
+
+struct Parser<'a> {
+    file: &'a SourceFile,
+    toks: &'a [Tok],
+    out: ParsedFile,
+}
+
+const KEYWORDS_NOT_CALLS: &[&str] = &[
+    "if", "else", "while", "for", "match", "loop", "return", "break", "continue", "move", "in",
+    "as", "where",
+];
+
+impl<'a> Parser<'a> {
+    fn tok(&self, i: usize) -> Option<&Tok> {
+        self.toks.get(i)
+    }
+
+    fn is_punct(&self, i: usize, ch: char) -> bool {
+        self.tok(i).is_some_and(|t| t.is_punct(ch))
+    }
+
+    fn is_ident(&self, i: usize, text: &str) -> bool {
+        self.tok(i).is_some_and(|t| t.is_ident(text))
+    }
+
+    /// Scan items in `[start, end)`: struct defs, impl blocks, fns.
+    /// `owner` is the enclosing impl type, if any.
+    fn parse_items(&mut self, start: usize, end: usize, owner: Option<&str>) {
+        let mut i = start;
+        while i < end {
+            if self.is_ident(i, "struct") {
+                i = self.parse_struct(i, end);
+            } else if self.is_ident(i, "impl") && owner.is_none() {
+                i = self.parse_impl(i, end);
+            } else if self.is_ident(i, "fn") {
+                i = self.parse_fn(i, end, owner);
+            } else if self.is_punct(i, '{') {
+                // Modules, trait bodies: recurse so nested items are seen.
+                let close = self.matching_brace(i, end);
+                self.parse_items(i + 1, close, owner);
+                i = close + 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Index of the `}` matching the `{` at `open` (or `end - 1`).
+    fn matching_brace(&self, open: usize, end: usize) -> usize {
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < end {
+            if self.is_punct(i, '{') {
+                depth += 1;
+            } else if self.is_punct(i, '}') {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            i += 1;
+        }
+        end.saturating_sub(1)
+    }
+
+    /// `struct Name { fields }` (unit / tuple structs carry nothing we
+    /// need). Returns the index just past the item.
+    fn parse_struct(&mut self, kw: usize, end: usize) -> usize {
+        let Some(name_tok) = self.tok(kw + 1) else {
+            return kw + 1;
+        };
+        if name_tok.kind != TokKind::Ident {
+            return kw + 1;
+        }
+        let name = name_tok.text.clone();
+        // Walk to the body `{` (skipping generics / where clause) or a
+        // `;` / `(` ending a unit / tuple struct.
+        let mut i = kw + 2;
+        while i < end {
+            if self.is_punct(i, '{') {
+                break;
+            }
+            if self.is_punct(i, ';') || self.is_punct(i, '(') {
+                return i + 1;
+            }
+            i += 1;
+        }
+        if i >= end {
+            return end;
+        }
+        let close = self.matching_brace(i, end);
+        let fields = self.parse_fields(i + 1, close);
+        self.out.structs.push(StructDef { name, fields });
+        close + 1
+    }
+
+    /// Fields between a struct body's braces: `vis? name : type ,`.
+    fn parse_fields(&mut self, start: usize, end: usize) -> Vec<FieldDef> {
+        let mut fields = Vec::new();
+        let mut i = start;
+        while i < end {
+            // Skip attributes on the field.
+            while self.is_punct(i, '#') && self.is_punct(i + 1, '[') {
+                let mut depth = 0usize;
+                i += 1;
+                while i < end {
+                    if self.is_punct(i, '[') {
+                        depth += 1;
+                    } else if self.is_punct(i, ']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                i += 1;
+            }
+            if self.is_ident(i, "pub") {
+                i += 1;
+                if self.is_punct(i, '(') {
+                    // pub(crate) etc.
+                    while i < end && !self.is_punct(i, ')') {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+            }
+            let (Some(name_tok), true) = (self.tok(i), self.is_punct(i + 1, ':')) else {
+                i += 1;
+                continue;
+            };
+            if name_tok.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            let name = name_tok.text.clone();
+            let line = name_tok.line;
+            // Type runs to the `,` at angle/paren depth 0, or the body end.
+            let mut j = i + 2;
+            let mut angle = 0i32;
+            let mut paren = 0i32;
+            let mut type_idents = Vec::new();
+            while j < end {
+                let t = &self.toks[j];
+                if t.is_punct(',') && angle == 0 && paren == 0 {
+                    break;
+                }
+                match t.text.as_str() {
+                    "<" => angle += 1,
+                    // `->` inside fn-pointer types closes nothing.
+                    ">" if !self.is_punct(j.wrapping_sub(1), '-') => angle -= 1,
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    _ => {}
+                }
+                if t.kind == TokKind::Ident {
+                    type_idents.push(t.text.clone());
+                }
+                j += 1;
+            }
+            let is_lock = type_idents.iter().any(|t| t == "Mutex" || t == "RwLock");
+            let rank = if is_lock {
+                match self.file.lock_rank(line) {
+                    Some(RankAnnotation::Ranked(r)) => Some(r),
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            fields.push(FieldDef {
+                name,
+                type_idents,
+                is_lock,
+                rank,
+                line,
+            });
+            i = j + 1;
+        }
+        fields
+    }
+
+    /// `impl<…> Type { … }` / `impl<…> Trait for Type { … }`. The owner
+    /// is the last path-segment identifier of the implemented type.
+    fn parse_impl(&mut self, kw: usize, end: usize) -> usize {
+        let mut i = kw + 1;
+        // Generics on the impl itself.
+        if self.is_punct(i, '<') {
+            i = self.skip_angles(i, end);
+        }
+        // First type path; if `for` follows, the real type is the second.
+        let (first, mut i2) = self.read_type_path(i, end);
+        let owner = if self.is_ident(i2, "for") {
+            let (second, j) = self.read_type_path(i2 + 1, end);
+            i2 = j;
+            second
+        } else {
+            first
+        };
+        // Walk to the body (skips where clauses).
+        let mut j = i2;
+        while j < end && !self.is_punct(j, '{') {
+            j += 1;
+        }
+        if j >= end {
+            return end;
+        }
+        let close = self.matching_brace(j, end);
+        if let Some(owner) = owner {
+            self.parse_items(j + 1, close, Some(&owner));
+        }
+        close + 1
+    }
+
+    /// Read a type path (`a::b::Name<…>`), returning its last plain
+    /// identifier and the index just past it (incl. generics).
+    fn read_type_path(&self, mut i: usize, end: usize) -> (Option<String>, usize) {
+        let mut last = None;
+        while i < end {
+            let Some(t) = self.tok(i) else { break };
+            if t.kind == TokKind::Ident && !matches!(t.text.as_str(), "for" | "where") {
+                last = Some(t.text.clone());
+                i += 1;
+            } else if t.is_punct(':') {
+                i += 1;
+            } else if t.is_punct('<') {
+                i = self.skip_angles(i, end);
+            } else if t.is_punct('&') || t.kind == TokKind::Lifetime || t.is_ident("mut") {
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        (last, i)
+    }
+
+    /// Skip a balanced `<…>` starting at `<`; `->` arrows inside do not
+    /// count as closers.
+    fn skip_angles(&self, open: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut i = open;
+        while i < end {
+            if self.is_punct(i, '<') {
+                depth += 1;
+            } else if self.is_punct(i, '>') && !self.is_punct(i.wrapping_sub(1), '-') {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// `fn name<…>(params) -> Ret { body }`. Returns the index just past
+    /// the item.
+    fn parse_fn(&mut self, kw: usize, end: usize, owner: Option<&str>) -> usize {
+        let Some(name_tok) = self.tok(kw + 1) else {
+            return kw + 1;
+        };
+        if name_tok.kind != TokKind::Ident {
+            return kw + 1;
+        }
+        let name = name_tok.text.clone();
+        let line = name_tok.line;
+        let mut i = kw + 2;
+        // Generic parameters: collect which ones are closure-bounded.
+        let mut fn_generic_closures: Vec<String> = Vec::new();
+        if self.is_punct(i, '<') {
+            let close = self.skip_angles(i, end);
+            self.collect_fn_bounded_generics(i + 1, close - 1, &mut fn_generic_closures);
+            i = close;
+        }
+        // Parameter list.
+        let mut closure_params = Vec::new();
+        if self.is_punct(i, '(') {
+            let mut depth = 0i32;
+            let open = i;
+            while i < end {
+                if self.is_punct(i, '(') {
+                    depth += 1;
+                } else if self.is_punct(i, ')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            self.collect_closure_params(open + 1, i, &fn_generic_closures, &mut closure_params);
+            i += 1;
+        }
+        // Return type / where clause up to the body or `;`.
+        let mut returns_result = false;
+        while i < end && !self.is_punct(i, '{') {
+            if self.is_punct(i, ';') {
+                return i + 1; // trait method declaration, no body
+            }
+            if self.is_ident(i, "Result") {
+                returns_result = true;
+            }
+            if self.is_ident(i, "where") {
+                // Bounds after `where` are not the return type.
+                while i < end && !self.is_punct(i, '{') && !self.is_punct(i, ';') {
+                    i += 1;
+                }
+                break;
+            }
+            i += 1;
+        }
+        if i >= end || !self.is_punct(i, '{') {
+            return i;
+        }
+        let close = self.matching_brace(i, end);
+        let body = self.parse_block(i + 1, close);
+        // Nested fns/items inside the body are still discovered.
+        self.parse_items(i + 1, close, owner);
+        self.out.fns.push(FnDef {
+            owner: owner.map(str::to_string),
+            name,
+            line,
+            returns_result,
+            closure_params,
+            body,
+            is_test: self.file.in_test_code(line),
+        });
+        close + 1
+    }
+
+    /// Inside `fn` generics: record generic names bounded by `Fn*`
+    /// (`F: FnOnce(&Page) -> R`).
+    fn collect_fn_bounded_generics(&self, start: usize, end: usize, out: &mut Vec<String>) {
+        let mut i = start;
+        while i < end {
+            if self.tok(i).is_some_and(|t| t.kind == TokKind::Ident) && self.is_punct(i + 1, ':') {
+                let gname = self.toks[i].text.clone();
+                let mut j = i + 2;
+                while j < end && !self.is_punct(j, ',') {
+                    if self
+                        .tok(j)
+                        .is_some_and(|t| matches!(t.text.as_str(), "Fn" | "FnOnce" | "FnMut"))
+                    {
+                        out.push(gname.clone());
+                        break;
+                    }
+                    j += 1;
+                }
+                i = j;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Params whose type mentions `Fn*` (or a closure-bounded generic)
+    /// are closure params.
+    fn collect_closure_params(
+        &self,
+        start: usize,
+        end: usize,
+        generics: &[String],
+        out: &mut Vec<String>,
+    ) {
+        let mut i = start;
+        let mut angle = 0i32;
+        let mut paren = 0i32;
+        while i < end {
+            let t = &self.toks[i];
+            match t.text.as_str() {
+                "<" => angle += 1,
+                ">" if !self.is_punct(i.wrapping_sub(1), '-') => angle -= 1,
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                _ => {}
+            }
+            // A parameter name at top level of the list.
+            if t.kind == TokKind::Ident
+                && angle == 0
+                && paren == 0
+                && self.is_punct(i + 1, ':')
+                && !self.is_punct(i.wrapping_sub(1), ':')
+            {
+                let pname = t.text.clone();
+                // Scan this param's type for closure evidence.
+                let mut j = i + 2;
+                let mut a2 = 0i32;
+                let mut p2 = 0i32;
+                let mut is_closure = false;
+                while j < end {
+                    let u = &self.toks[j];
+                    if u.is_punct(',') && a2 == 0 && p2 == 0 {
+                        break;
+                    }
+                    match u.text.as_str() {
+                        "<" => a2 += 1,
+                        ">" if !self.is_punct(j.wrapping_sub(1), '-') => a2 -= 1,
+                        "(" => p2 += 1,
+                        ")" => p2 -= 1,
+                        "Fn" | "FnOnce" | "FnMut" => is_closure = true,
+                        other if generics.iter().any(|g| g == other) => is_closure = true,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if is_closure {
+                    out.push(pname);
+                }
+                i = j;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Parse a function-body region `[start, end)` (exclusive of its own
+    /// braces) into a block of statements.
+    fn parse_block(&self, start: usize, end: usize) -> Block {
+        let mut block = Block::default();
+        let mut stmt = Stmt::default();
+        let mut i = start;
+        while i < end {
+            let t = &self.toks[i];
+            if stmt.nodes.is_empty() && stmt.line == 0 {
+                stmt.line = t.line;
+            }
+            if t.is_punct(';') {
+                block.stmts.push(std::mem::take(&mut stmt));
+                i += 1;
+                continue;
+            }
+            if t.is_punct('{') {
+                let close = self.matching_brace(i, end);
+                stmt.nodes
+                    .push(Node::Nested(self.parse_block(i + 1, close)));
+                i = close + 1;
+                continue;
+            }
+            if t.is_punct('}') {
+                // Stray close (shouldn't happen with matched input).
+                i += 1;
+                continue;
+            }
+            // `let _ =` opener.
+            if t.is_ident("let")
+                && self.is_ident(i + 1, "_")
+                && self.is_punct(i + 2, '=')
+                && stmt.nodes.is_empty()
+            {
+                stmt.let_underscore = true;
+                stmt.line = t.line;
+                i += 3;
+                continue;
+            }
+            // `drop(name)` / `std::mem::drop(name)`.
+            if t.is_ident("drop")
+                && self.is_punct(i + 1, '(')
+                && self.tok(i + 2).is_some_and(|u| u.kind == TokKind::Ident)
+                && self.is_punct(i + 3, ')')
+            {
+                stmt.nodes.push(Node::DropGuard {
+                    name: self.toks[i + 2].text.clone(),
+                });
+                i += 4;
+                continue;
+            }
+            // Calls: an identifier directly followed by `(`. A nested
+            // `fn name(...)` signature is an item, not a call.
+            if t.kind == TokKind::Ident
+                && self.is_punct(i + 1, '(')
+                && !KEYWORDS_NOT_CALLS.contains(&t.text.as_str())
+                && !self.is_punct(i.wrapping_sub(1), '!')
+                && !self.is_ident(i.wrapping_sub(1), "fn")
+            {
+                i = self.parse_call(i, end, &mut stmt);
+                continue;
+            }
+            i += 1;
+        }
+        if !stmt.nodes.is_empty() || stmt.let_underscore {
+            block.stmts.push(stmt);
+        }
+        block
+    }
+
+    /// Parse the call whose name token is at `i` (followed by `(`).
+    /// Emits an Acquire / Io / Call node and recurses into the argument
+    /// region for nested events and closure literals. Returns the index
+    /// of the token after the call name (arguments are consumed
+    /// separately below).
+    fn parse_call(&self, name_at: usize, end: usize, stmt: &mut Stmt) -> usize {
+        let name_tok = &self.toks[name_at];
+        let name = name_tok.text.clone();
+        let (line, col) = (name_tok.line, name_tok.col);
+        let open = name_at + 1; // the `(`
+        let close = self.matching_paren(open, end);
+        let zero_args = close == open + 1;
+
+        let is_method = self.is_punct(name_at.wrapping_sub(1), '.');
+        let target = if is_method {
+            let (chain, rooted) = self.receiver_chain(name_at - 1);
+            CallTarget::Method {
+                chain,
+                name: name.clone(),
+                rooted,
+            }
+        } else {
+            CallTarget::Path {
+                segments: self.path_segments(name_at),
+            }
+        };
+
+        // Lock acquisition: zero-arg lock/read/write/try_* method call.
+        if let (true, true, Some(op)) = (is_method, zero_args, AcquireOp::from_name(&name)) {
+            if let CallTarget::Method { chain, rooted, .. } = &target {
+                if !chain.is_empty() {
+                    // `let x = y.lock().clone()` binds the *clone*: a
+                    // chained call consumes the guard at statement end,
+                    // so any `let` binding does not name the guard.
+                    let chained = self.toks.get(close + 1).is_some_and(|t| t.is_punct('.'));
+                    stmt.nodes.push(Node::Acquire {
+                        chain: chain.clone(),
+                        rooted: *rooted,
+                        op,
+                        binding: if chained {
+                            None
+                        } else {
+                            self.binding_before(name_at, chain.len())
+                        },
+                        line,
+                        col,
+                    });
+                    return close + 1;
+                }
+            }
+            // Receiver-less / computed-receiver acquire (e.g.
+            // `shard_of(id).frames.lock()` keeps its chain; a truly empty
+            // chain falls through to a plain call).
+        }
+
+        // Blocking-I/O leaves. `write`/`read` with arguments are I/O-ish
+        // too, but far too ambiguous (Vec writes, io::Read): the leaf set
+        // is the syscalls the fsync discipline actually cares about.
+        if is_method {
+            let io_what = match name.as_str() {
+                "sync_all" | "sync_data" if zero_args => Some("fsync"),
+                "write_all" if !zero_args => Some("write"),
+                "flush" if zero_args => Some("flush"),
+                _ => None,
+            };
+            if let Some(what) = io_what {
+                stmt.nodes.push(Node::Io { what, line, col });
+                // Arguments may still contain events.
+                self.parse_args_into(open, close, stmt);
+                return close + 1;
+            }
+        }
+
+        let mut closures = Vec::new();
+        self.parse_args(open, close, stmt, &mut closures);
+        stmt.nodes.push(Node::Call {
+            target,
+            closures,
+            line,
+            col,
+        });
+        close + 1
+    }
+
+    fn matching_paren(&self, open: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut i = open;
+        while i < end {
+            if self.is_punct(i, '(') {
+                depth += 1;
+            } else if self.is_punct(i, ')') {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            i += 1;
+        }
+        end.saturating_sub(1)
+    }
+
+    /// Argument region scan that keeps nested events but attaches closure
+    /// literals to `closures` instead of the surrounding statement.
+    fn parse_args(&self, open: usize, close: usize, stmt: &mut Stmt, closures: &mut Vec<Block>) {
+        let mut i = open + 1;
+        while i < close {
+            let t = &self.toks[i];
+            // Closure literal at this call's argument level: `|` right
+            // after `(`, `,` or `move`.
+            if t.is_punct('|') {
+                let prev = self.toks.get(i.wrapping_sub(1));
+                let starts_closure =
+                    prev.is_some_and(|p| p.is_punct('(') || p.is_punct(',') || p.is_ident("move"));
+                if starts_closure {
+                    // Params run to the next `|` (or none for `||`).
+                    let mut j = i + 1;
+                    while j < close && !self.is_punct(j, '|') {
+                        j += 1;
+                    }
+                    let body_start = j + 1;
+                    let blk = if self.is_punct(body_start, '{') {
+                        let bclose = self.matching_brace(body_start, close);
+                        let b = self.parse_block(body_start + 1, bclose);
+                        i = bclose + 1;
+                        b
+                    } else {
+                        // Expression body: runs to the `,` at this call's
+                        // level or the closing paren.
+                        let mut k = body_start;
+                        let mut depth = 0i32;
+                        while k < close {
+                            let u = &self.toks[k];
+                            if depth == 0 && u.is_punct(',') {
+                                break;
+                            }
+                            match u.text.as_str() {
+                                "(" | "[" | "{" => depth += 1,
+                                ")" | "]" | "}" => depth -= 1,
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                        let b = self.parse_block(body_start, k);
+                        i = k;
+                        b
+                    };
+                    closures.push(blk);
+                    continue;
+                }
+            }
+            if t.is_punct('{') {
+                let bclose = self.matching_brace(i, close);
+                stmt.nodes
+                    .push(Node::Nested(self.parse_block(i + 1, bclose)));
+                i = bclose + 1;
+                continue;
+            }
+            if t.kind == TokKind::Ident
+                && self.is_punct(i + 1, '(')
+                && !KEYWORDS_NOT_CALLS.contains(&t.text.as_str())
+                && !self.is_punct(i.wrapping_sub(1), '!')
+                && !self.is_ident(i.wrapping_sub(1), "fn")
+            {
+                i = self.parse_call(i, close, stmt);
+                continue;
+            }
+            i += 1;
+        }
+    }
+
+    /// Like [`parse_args`] but closures (none expected) stay inline.
+    fn parse_args_into(&self, open: usize, close: usize, stmt: &mut Stmt) {
+        let mut sink = Vec::new();
+        self.parse_args(open, close, stmt, &mut sink);
+        for blk in sink {
+            stmt.nodes.push(Node::Nested(blk));
+        }
+    }
+
+    /// Walk back from the `.` before a method name, collecting the
+    /// receiver chain (`self.shared.queue` → `["self","shared","queue"]`,
+    /// tuple indices included). Returns (chain, rooted): rooted is false
+    /// when the chain hangs off a computed expression (`foo().x.m()`).
+    fn receiver_chain(&self, dot_at: usize) -> (Vec<String>, bool) {
+        let mut chain = Vec::new();
+        let mut i = dot_at; // points at a `.`
+        loop {
+            let Some(seg) = self.tok(i.wrapping_sub(1)) else {
+                return (reversed(chain), false);
+            };
+            if seg.kind == TokKind::Ident || seg.kind == TokKind::Literal {
+                chain.push(seg.text.clone());
+                let before = i.wrapping_sub(2);
+                if self.is_punct(before, '.') {
+                    i = before;
+                    continue;
+                }
+                // Chain start: rooted unless it follows `)`/`]` (method
+                // result) or `?`.
+                let rooted = !(self.is_punct(before, ')')
+                    || self.is_punct(before, ']')
+                    || self.is_punct(before, '?'));
+                return (reversed(chain), rooted);
+            }
+            // `foo().m()`, `arr[i].m()`, `x?.m()` — computed receiver.
+            return (reversed(chain), false);
+        }
+    }
+
+    /// Path segments ending at the call name (`a::b::m` → `[a, b, m]`).
+    fn path_segments(&self, name_at: usize) -> Vec<String> {
+        let mut segs = vec![self.toks[name_at].text.clone()];
+        let mut i = name_at;
+        while self.is_punct(i.wrapping_sub(1), ':') && self.is_punct(i.wrapping_sub(2), ':') {
+            let Some(seg) = self.tok(i.wrapping_sub(3)) else {
+                break;
+            };
+            if seg.kind != TokKind::Ident {
+                break;
+            }
+            segs.push(seg.text.clone());
+            i -= 3;
+        }
+        segs.reverse();
+        segs
+    }
+
+    /// If the acquire expression is bound (`let g = chain.lock()` /
+    /// `let Some(g) = chain.try_lock()` via `if let` / `while let` /
+    /// `match` arms are approximated by the `let` forms), return the
+    /// bound name. `chain_len` identifiers plus their dots precede the
+    /// method name.
+    fn binding_before(&self, name_at: usize, chain_len: usize) -> Option<String> {
+        // name_at - 1 is `.`; the chain occupies 2*chain_len tokens
+        // before it (ident + dot pairs), ending at the chain root.
+        let root_at = name_at.checked_sub(2 * chain_len)?;
+        let mut i = root_at.checked_sub(1)?; // token before the chain root
+        if !self.is_punct(i, '=') {
+            return None;
+        }
+        i = i.checked_sub(1)?;
+        // `let Some(g) =` — closing paren before `=`.
+        if self.is_punct(i, ')') {
+            let inner = self.tok(i.checked_sub(1)?)?;
+            if inner.kind == TokKind::Ident && self.is_punct(i.checked_sub(2)?, '(') {
+                return Some(inner.text.clone());
+            }
+            return None;
+        }
+        let name = self.tok(i)?;
+        if name.kind != TokKind::Ident {
+            return None;
+        }
+        let mut j = i.checked_sub(1)?;
+        if self.is_ident(j, "mut") {
+            j = j.checked_sub(1)?;
+        }
+        if self.is_ident(j, "let") {
+            return Some(name.text.clone());
+        }
+        None
+    }
+}
+
+fn reversed(mut v: Vec<String>) -> Vec<String> {
+    v.reverse();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{FileContext, SourceFile};
+
+    fn parse(src: &str) -> ParsedFile {
+        let file = SourceFile::parse(
+            FileContext {
+                rel_path: "crates/demo/src/lib.rs".into(),
+                member: "crates/demo".into(),
+            },
+            src,
+        );
+        parse_file(&file)
+    }
+
+    #[test]
+    fn struct_fields_and_ranks() {
+        let p = parse(
+            "pub struct Db {\n\
+                 pool: Arc<BufferPool>,\n\
+                 gate: RwLock<()>, // lock-rank: 210\n\
+                 serial: Mutex<()>, // lock-rank: unranked(demo)\n\
+             }\n",
+        );
+        assert_eq!(p.structs.len(), 1);
+        let s = &p.structs[0];
+        assert_eq!(s.name, "Db");
+        assert_eq!(s.fields.len(), 3);
+        assert_eq!(s.fields[0].type_idents, vec!["Arc", "BufferPool"]);
+        assert!(!s.fields[0].is_lock);
+        assert!(s.fields[1].is_lock);
+        assert_eq!(s.fields[1].rank, Some(210));
+        assert!(s.fields[2].is_lock);
+        assert_eq!(s.fields[2].rank, None);
+    }
+
+    #[test]
+    fn impl_methods_get_their_owner() {
+        let p = parse(
+            "impl Db { fn open() {} }\n\
+             impl std::fmt::Debug for Db { fn fmt(&self) {} }\n\
+             fn free() {}\n",
+        );
+        let names: Vec<(Option<&str>, &str)> = p
+            .fns
+            .iter()
+            .map(|f| (f.owner.as_deref(), f.name.as_str()))
+            .collect();
+        assert!(names.contains(&(Some("Db"), "open")));
+        assert!(names.contains(&(Some("Db"), "fmt")));
+        assert!(names.contains(&(None, "free")));
+    }
+
+    #[test]
+    fn acquire_nodes_with_chain_binding_and_op() {
+        let p = parse(
+            "impl Db {\n\
+               fn f(&self) {\n\
+                 let _shared = self.gate.read();\n\
+                 *self.state.lock() = 1;\n\
+                 let g = self.shared.queue.lock();\n\
+                 drop(g);\n\
+                 let q = self.serial.try_lock();\n\
+               }\n\
+             }\n",
+        );
+        let body = &p.fns[0].body;
+        let mut acquires = Vec::new();
+        for s in &body.stmts {
+            for n in &s.nodes {
+                if let Node::Acquire {
+                    chain, op, binding, ..
+                } = n
+                {
+                    acquires.push((chain.join("."), *op, binding.clone()));
+                }
+            }
+        }
+        assert_eq!(
+            acquires,
+            vec![
+                (
+                    "self.gate".to_string(),
+                    AcquireOp::Read,
+                    Some("_shared".to_string())
+                ),
+                ("self.state".to_string(), AcquireOp::Lock, None),
+                (
+                    "self.shared.queue".to_string(),
+                    AcquireOp::Lock,
+                    Some("g".to_string())
+                ),
+                (
+                    "self.serial".to_string(),
+                    AcquireOp::TryLock,
+                    Some("q".to_string())
+                ),
+            ]
+        );
+        assert!(body
+            .stmts
+            .iter()
+            .flat_map(|s| &s.nodes)
+            .any(|n| matches!(n, Node::DropGuard { name } if name == "g")));
+    }
+
+    #[test]
+    fn closure_args_become_sub_blocks() {
+        let p = parse(
+            "impl Pool {\n\
+               fn f(&self) {\n\
+                 self.latch.with_frame(1, |page| {\n\
+                     self.low.lock();\n\
+                 });\n\
+               }\n\
+             }\n",
+        );
+        let stmt = &p.fns[0].body.stmts[0];
+        let call = stmt
+            .nodes
+            .iter()
+            .find_map(|n| match n {
+                Node::Call {
+                    target, closures, ..
+                } if target.name() == "with_frame" => Some(closures),
+                _ => None,
+            })
+            .expect("with_frame call parsed");
+        assert_eq!(call.len(), 1);
+        let inner = &call[0].stmts[0].nodes[0];
+        assert!(matches!(inner, Node::Acquire { chain, .. } if chain.join(".") == "self.low"));
+    }
+
+    #[test]
+    fn closure_params_detected() {
+        let p = parse(
+            "fn with_frame<R, F: FnOnce(&mut u32) -> R>(&self, f: F) -> R { f(&mut 0) }\n\
+             fn plain(x: u32) {}\n\
+             fn impl_form(&self, g: impl FnMut() -> u32) { g() }\n",
+        );
+        assert_eq!(p.fns[0].closure_params, vec!["f"]);
+        assert!(p.fns[1].closure_params.is_empty());
+        assert_eq!(p.fns[2].closure_params, vec!["g"]);
+    }
+
+    #[test]
+    fn io_leaves_and_result_returns() {
+        let p = parse(
+            "impl W {\n\
+               fn sync(&self) -> Result<()> {\n\
+                 self.file.sync_all();\n\
+                 self.out.write_all(&buf);\n\
+                 self.out.flush();\n\
+                 Ok(())\n\
+               }\n\
+             }\n",
+        );
+        let f = &p.fns[0];
+        assert!(f.returns_result);
+        let io: Vec<&str> = f
+            .body
+            .stmts
+            .iter()
+            .flat_map(|s| &s.nodes)
+            .filter_map(|n| match n {
+                Node::Io { what, .. } => Some(*what),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(io, vec!["fsync", "write", "flush"]);
+    }
+
+    #[test]
+    fn let_underscore_and_path_calls() {
+        let p = parse(
+            "fn f() {\n\
+                 let _ = protocol::write_frame(s, frame);\n\
+                 let _ = h.join();\n\
+             }\n",
+        );
+        let stmts = &p.fns[0].body.stmts;
+        assert!(stmts[0].let_underscore);
+        match &stmts[0].nodes[0] {
+            Node::Call { target, .. } => match target {
+                CallTarget::Path { segments } => {
+                    assert_eq!(
+                        segments,
+                        &vec!["protocol".to_string(), "write_frame".into()]
+                    )
+                }
+                other => panic!("expected path call, got {other:?}"),
+            },
+            other => panic!("expected call, got {other:?}"),
+        }
+        assert!(stmts[1].let_underscore);
+    }
+
+    #[test]
+    fn test_code_is_marked() {
+        let p = parse(
+            "fn prod() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 #[test]\n\
+                 fn t() { helper(); }\n\
+             }\n",
+        );
+        let prod = p.fns.iter().find(|f| f.name == "prod").unwrap();
+        let test = p.fns.iter().find(|f| f.name == "t").unwrap();
+        assert!(!prod.is_test);
+        assert!(test.is_test);
+    }
+}

@@ -51,6 +51,10 @@ pub struct SourceFile {
     comments_by_line: HashMap<u32, String>,
     /// Lines containing at least one code token.
     code_lines: HashSet<u32>,
+    /// For each comment-only run containing a `lint:allow(`, the line
+    /// span of the statement it covers (first code line through the
+    /// statement's last line) plus the run's combined text.
+    allow_spans: Vec<(u32, u32, String)>,
 }
 
 impl SourceFile {
@@ -67,13 +71,15 @@ impl SourceFile {
                 slot.push_str(&c.text);
             }
         }
-        let code_lines = lexed.tokens.iter().map(|t| t.line).collect();
+        let code_lines: HashSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        let allow_spans = allow_statement_spans(&lexed.tokens, &comments_by_line, &code_lines);
         SourceFile {
             ctx,
             lexed,
             test_ranges,
             comments_by_line,
             code_lines,
+            allow_spans,
         }
     }
 
@@ -109,11 +115,18 @@ impl SourceFile {
     }
 
     /// Does an `// lint:allow(RULE, reason)` with a non-empty reason cover
-    /// `line`?
+    /// `line`? A trailing allow covers its own line; a standalone allow
+    /// comment covers the entire following *statement* through its end
+    /// (so one allow suffices for a multi-line call), but only the first
+    /// line of a following *item* (an allow above a `fn` must not
+    /// silence the whole body).
     pub fn allows(&self, rule: &str, line: u32) -> bool {
         self.annotation_comments(line)
             .iter()
             .any(|t| comment_allows(t, rule))
+            || self.allow_spans.iter().any(|(start, end, text)| {
+                (*start..=*end).contains(&line) && comment_allows(text, rule)
+            })
     }
 
     /// The `lock-rank:` annotation covering `line`, if any.
@@ -177,6 +190,128 @@ fn parse_lock_rank(comment: &str) -> Option<RankAnnotation> {
         .ok()
         .map(RankAnnotation::Ranked)
         .or(Some(RankAnnotation::Malformed))
+}
+
+/// Item-starting tokens: a standalone allow above one of these covers
+/// only the item's first line, never its whole body.
+fn starts_item(toks: &[Tok], i: usize) -> bool {
+    let t = &toks[i];
+    if t.is_punct('#') {
+        return true;
+    }
+    matches!(
+        t.text.as_str(),
+        "fn" | "pub"
+            | "impl"
+            | "struct"
+            | "enum"
+            | "union"
+            | "mod"
+            | "trait"
+            | "use"
+            | "static"
+            | "const"
+            | "type"
+            | "macro_rules"
+    ) || (t.is_ident("unsafe")
+        && toks
+            .get(i + 1)
+            .is_some_and(|n| n.is_ident("fn") || n.is_ident("impl") || n.is_ident("trait")))
+}
+
+/// For each run of contiguous comment-only lines containing a
+/// `lint:allow(`, compute the line span of the statement starting on the
+/// next line: through the `;` at bracket depth 0, the close of a
+/// depth-0 brace group that ends the expression (`if`/`match`
+/// statements), or the end of the enclosing block/argument list.
+fn allow_statement_spans(
+    toks: &[Tok],
+    comments_by_line: &HashMap<u32, String>,
+    code_lines: &HashSet<u32>,
+) -> Vec<(u32, u32, String)> {
+    let mut spans = Vec::new();
+    let mut comment_lines: Vec<u32> = comments_by_line
+        .keys()
+        .copied()
+        .filter(|l| !code_lines.contains(l))
+        .collect();
+    comment_lines.sort_unstable();
+    let mut run_start = 0usize;
+    for i in 0..comment_lines.len() {
+        let is_run_end =
+            i + 1 == comment_lines.len() || comment_lines[i + 1] != comment_lines[i] + 1;
+        if !is_run_end {
+            continue;
+        }
+        let run: &[u32] = &comment_lines[run_start..=i];
+        run_start = i + 1;
+        let text = run
+            .iter()
+            .filter_map(|l| comments_by_line.get(l).map(String::as_str))
+            .collect::<Vec<_>>()
+            .join(" ");
+        if !text.contains("lint:allow(") {
+            continue;
+        }
+        let first_code = run[run.len() - 1] + 1;
+        if !code_lines.contains(&first_code) {
+            continue; // blank line breaks the association
+        }
+        let Some(start_tok) = toks.iter().position(|t| t.line >= first_code) else {
+            continue;
+        };
+        let end_line = if starts_item(toks, start_tok) {
+            first_code
+        } else {
+            statement_end_line(toks, start_tok)
+        };
+        spans.push((first_code, end_line, text));
+    }
+    spans
+}
+
+/// Last line of the statement beginning at token `start`.
+fn statement_end_line(toks: &[Tok], start: usize) -> u32 {
+    let mut paren = 0i32; // () and []
+    let mut brace = 0i32;
+    let mut i = start;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') {
+            paren += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            paren -= 1;
+            if paren < 0 {
+                // The enclosing argument list closed: the statement was
+                // its final element.
+                return toks[i.saturating_sub(1)].line;
+            }
+        } else if t.is_punct('{') {
+            brace += 1;
+        } else if t.is_punct('}') {
+            brace -= 1;
+            if brace < 0 {
+                // Enclosing block ended without a `;` (tail expression).
+                return toks[i.saturating_sub(1)].line;
+            }
+            if brace == 0 && paren == 0 {
+                // A depth-0 brace group closed (`if`/`match`/block).
+                // Continue only if the expression visibly continues.
+                match toks.get(i + 1) {
+                    Some(n)
+                        if n.is_ident("else")
+                            || n.is_punct('.')
+                            || n.is_punct('?')
+                            || n.is_punct(';') => {}
+                    _ => return t.line,
+                }
+            }
+        } else if t.is_punct(';') && paren == 0 && brace == 0 {
+            return t.line;
+        }
+        i += 1;
+    }
+    toks.last().map(|t| t.line).unwrap_or(0)
 }
 
 /// Find line ranges covered by test-marked items: `#[test]`,
@@ -339,6 +474,61 @@ mod tests {
         );
         assert!(f.allows("L005", 2));
         assert!(!f.allows("L005", 6), "blank line breaks the association");
+    }
+
+    #[test]
+    fn standalone_allow_covers_the_whole_statement() {
+        let f = file(
+            "fn a() {\n\
+                 // lint:allow(L001, demo covers the full call)\n\
+                 panic!(\n\
+                     \"multi\\\n\
+                      line\"\n\
+                 );\n\
+                 other();\n\
+             }\n",
+        );
+        for line in 3..=6 {
+            assert!(
+                f.allows("L001", line),
+                "line {line} is inside the statement"
+            );
+        }
+        assert!(!f.allows("L001", 7), "next statement is not covered");
+    }
+
+    #[test]
+    fn standalone_allow_above_an_item_covers_only_its_first_line() {
+        let f = file(
+            "// lint:allow(L001, signature only)\n\
+             fn a() {\n\
+                 body();\n\
+             }\n",
+        );
+        assert!(f.allows("L001", 2));
+        assert!(
+            !f.allows("L001", 3),
+            "an allow above a fn must not silence its body"
+        );
+    }
+
+    #[test]
+    fn standalone_allow_covers_if_statement_without_semicolon() {
+        let f = file(
+            "fn a() {\n\
+                 // lint:allow(L001, both arms)\n\
+                 if x {\n\
+                     panic!(\"a\")\n\
+                 } else {\n\
+                     panic!(\"b\")\n\
+                 }\n\
+                 other();\n\
+             }\n",
+        );
+        for line in 3..=7 {
+            assert!(f.allows("L001", line), "line {line}");
+        }
+        assert!(!f.allows("L001", 8));
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Cross-validation of the static analyzer against the dynamic checker:
+//! the exact shapes the static pass flags in the `ws-l101` fixture are
+//! executed here with real ranked locks from the `parking_lot` shim, and
+//! must panic under its debug-build rank checker. The guards the static
+//! pass leaves clean must run clean dynamically too. This keeps the two
+//! enforcement layers (L101 at lint time, `rank::check` at run time)
+//! honest mirrors of each other.
+
+#![cfg(debug_assertions)] // the dynamic rank checker compiles away in release
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+
+use instant_lint::lint_workspace;
+use parking_lot::Mutex;
+
+/// Executable twin of the `ws-l101` fixture's `Engine`: same ranks, same
+/// call shapes, but with live ranked locks.
+struct Engine {
+    low: Mutex<u32>,
+    high: Mutex<u32>,
+}
+
+impl Engine {
+    fn new() -> Engine {
+        Engine {
+            low: Mutex::ranked(10, 1),
+            high: Mutex::ranked(20, 2),
+        }
+    }
+
+    fn grab_low(&self) -> u32 {
+        *self.low.lock()
+    }
+
+    fn inverted(&self) -> u32 {
+        let _g = self.high.lock();
+        self.grab_low()
+    }
+
+    fn with_high<R>(&self, f: impl FnOnce(u32) -> R) -> R {
+        let g = self.high.lock();
+        f(*g)
+    }
+
+    fn closure_inverted(&self) -> u32 {
+        self.with_high(|v| v + self.grab_low())
+    }
+
+    fn ordered(&self) -> u32 {
+        let a = self.low.lock();
+        let b = self.high.lock();
+        *a + *b
+    }
+
+    fn closure_clean(&self) -> u32 {
+        self.with_high(|v| v + 1)
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        String::from("<non-string panic payload>")
+    }
+}
+
+fn fixture() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws-l101")
+}
+
+#[test]
+fn every_static_l101_finding_panics_under_the_dynamic_checker() {
+    // Static side: the fixture's two inversions, nothing else.
+    let report = lint_workspace(&fixture()).expect("fixture workspace discoverable");
+    let l101_lines: Vec<u32> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "L101")
+        .map(|v| v.line)
+        .collect();
+    assert_eq!(
+        l101_lines,
+        vec![21, 51],
+        "the direct inversion and the closure inversion: {:?}",
+        report.violations
+    );
+
+    // Dynamic side: the same shapes, executed, panic with a rank
+    // violation.
+    let direct = catch_unwind(AssertUnwindSafe(|| Engine::new().inverted()))
+        .expect_err("holding 20 then acquiring 10 must panic");
+    assert!(
+        panic_message(direct).contains("lock-rank violation"),
+        "panic must come from the rank checker"
+    );
+
+    let through_closure = catch_unwind(AssertUnwindSafe(|| Engine::new().closure_inverted()))
+        .expect_err("acquiring 10 inside the latched callback must panic");
+    assert!(
+        panic_message(through_closure).contains("lock-rank violation"),
+        "panic must come from the rank checker"
+    );
+}
+
+#[test]
+fn static_guards_also_run_clean_dynamically() {
+    // The shapes the static pass leaves unflagged must not panic.
+    assert_eq!(Engine::new().ordered(), 3);
+    assert_eq!(Engine::new().closure_clean(), 3);
+}

@@ -1,0 +1,38 @@
+//! L006 fixture: `let _ =` swallowing a workspace `Result` is flagged;
+//! non-Result calls, allowed sites, and test code are exempt.
+
+pub struct Error;
+pub type Result<T> = std::result::Result<T, Error>;
+
+fn fallible() -> Result<()> {
+    Ok(())
+}
+
+fn infallible() -> u32 {
+    7
+}
+
+pub fn swallowed() {
+    let _ = fallible();
+}
+
+pub fn handled() -> Result<()> {
+    fallible()
+}
+
+pub fn not_a_result() {
+    let _ = infallible();
+}
+
+pub fn allowed() {
+    // lint:allow(L006, fixture: the error is intentionally dropped)
+    let _ = fallible();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let _ = super::fallible();
+    }
+}

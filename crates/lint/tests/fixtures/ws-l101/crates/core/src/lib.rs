@@ -1,0 +1,58 @@
+//! L101 fixture: one real lock-order inversion, one inversion through a
+//! closure passed to a `with_frame`-style latch API, and false-positive
+//! guards (disjoint call path, correctly-ordered acquisition).
+
+use parking_lot::Mutex;
+
+pub struct Engine {
+    low: Mutex<u32>,  // lock-rank: 10
+    high: Mutex<u32>, // lock-rank: 20
+}
+
+impl Engine {
+    fn grab_low(&self) -> u32 {
+        *self.low.lock()
+    }
+
+    /// Real inversion: rank 10 is acquired (via `grab_low`) while 20 is
+    /// held. The dynamic rank checker panics on this exact shape.
+    pub fn inverted(&self) -> u32 {
+        let _g = self.high.lock();
+        self.grab_low()
+    }
+
+    fn pure_math(&self, x: u32) -> u32 {
+        x + 1
+    }
+
+    /// Guard: holding 20 while calling a function on a disjoint call
+    /// path (no lock acquisition anywhere below) must not be flagged.
+    pub fn not_inverted(&self) -> u32 {
+        let _g = self.high.lock();
+        self.pure_math(1)
+    }
+
+    /// Guard: low-then-high is the correct order.
+    pub fn ordered(&self) -> u32 {
+        let a = self.low.lock();
+        let b = self.high.lock();
+        *a + *b
+    }
+
+    /// `with_frame`-style API: invokes the callback while `high` is held.
+    fn with_high<R>(&self, f: impl FnOnce(u32) -> R) -> R {
+        let g = self.high.lock();
+        f(*g)
+    }
+
+    /// Inversion through the closure: the callback runs under rank 20
+    /// and acquires rank 10.
+    pub fn closure_inverted(&self) -> u32 {
+        self.with_high(|v| v + self.grab_low())
+    }
+
+    /// Guard: a lock-free callback under the latch is fine.
+    pub fn closure_clean(&self) -> u32 {
+        self.with_high(|v| v + 1)
+    }
+}

@@ -1,0 +1,43 @@
+//! L102 fixture: an fsync under a ranked lock (flagged), an fsync after
+//! the guard is dropped (guard), and a transitive reach through a helper.
+
+use std::fs::File;
+
+use parking_lot::Mutex;
+
+pub struct Log {
+    inner: Mutex<File>, // lock-rank: 10
+}
+
+fn fsync(f: &File) -> std::io::Result<()> {
+    f.sync_all()
+}
+
+impl Log {
+    /// Flagged: fsync while the log lock is held.
+    pub fn sync_under_lock(&self) -> std::io::Result<()> {
+        let f = self.inner.lock();
+        f.sync_all()
+    }
+
+    /// Flagged: the I/O is reached through a callee, with a witness path.
+    pub fn sync_under_lock_via_helper(&self, side: &File) -> std::io::Result<()> {
+        let _g = self.inner.lock();
+        fsync(side)
+    }
+
+    /// Guard: the guard is dropped before the fsync.
+    pub fn sync_after_release(&self, side: &File) -> std::io::Result<()> {
+        let f = self.inner.lock();
+        drop(f);
+        side.sync_all()
+    }
+
+    /// Guard: the guard's block ends before the fsync.
+    pub fn sync_after_scope(&self, side: &File) -> std::io::Result<()> {
+        {
+            let _f = self.inner.lock();
+        }
+        side.sync_all()
+    }
+}
