@@ -51,6 +51,27 @@ fn open_db(group: Option<GroupCommitConfig>) -> Arc<Db> {
     db
 }
 
+/// Append the engine's stage-histogram percentiles (drain, fsync, ack)
+/// next to the criterion shim's own lines when its NDJSON sink is armed
+/// — the CI bench lane reads real latency percentiles out of
+/// `BENCH_wal.json`, not just mean wall-clock.
+fn append_stats(db: &Db, prefix: &str) {
+    let Ok(path) = std::env::var("CRITERION_SHIM_JSON") else {
+        return;
+    };
+    use std::io::Write as _;
+    let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    else {
+        return;
+    };
+    for line in db.obs().snapshot().ndjson_lines(prefix) {
+        let _ = writeln!(f, "{line}");
+    }
+}
+
 fn run_committers(db: &Arc<Db>, threads: i64) {
     std::thread::scope(|s| {
         for t in 0..threads {
@@ -83,6 +104,9 @@ fn bench_commit_throughput(c: &mut Criterion) {
                 });
             },
         );
+        // Keep the last timed run's engine alive so its drain/fsync/ack
+        // histograms can be dumped after the measurement.
+        let last = std::cell::RefCell::new(None);
         g.bench_with_input(
             BenchmarkId::new("group_commit", threads),
             &threads,
@@ -90,9 +114,13 @@ fn bench_commit_throughput(c: &mut Criterion) {
                 b.iter(|| {
                     let db = open_db(Some(GroupCommitConfig::default()));
                     run_committers(&db, t);
+                    *last.borrow_mut() = Some(db);
                 });
             },
         );
+        if let Some(db) = last.into_inner() {
+            append_stats(&db, &format!("group_commit_stats/{threads}"));
+        }
     }
     g.finish();
 }

@@ -44,6 +44,25 @@ fn start_server(workers: usize) -> Server {
     .unwrap()
 }
 
+/// Append the served engine's stats-snapshot histograms as NDJSON when
+/// the criterion shim's sink is armed (CI writes `BENCH_server.json`).
+fn append_stats(db: &Arc<Db>, prefix: &str) {
+    let Ok(path) = std::env::var("CRITERION_SHIM_JSON") else {
+        return;
+    };
+    use std::io::Write as _;
+    let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    else {
+        return;
+    };
+    for line in instant_core::metrics::stats_snapshot(db).ndjson_lines(prefix) {
+        let _ = writeln!(f, "{line}");
+    }
+}
+
 fn bench_server_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("server_throughput");
     g.sample_size(10);
@@ -89,6 +108,11 @@ fn bench_server_throughput(c: &mut Criterion) {
         );
         drop(pool);
         admin.close().unwrap();
+        // Dump the full observability snapshot (commit/query stage
+        // percentiles, degradation lag, per-purpose counts) next to the
+        // criterion lines — the CI bench lane extracts p50/p95/p99 from
+        // these and gates on their shape.
+        append_stats(server.db(), &format!("server_stats/clients/{clients}"));
         server.shutdown().unwrap();
     }
     g.finish();

@@ -33,6 +33,7 @@ use parking_lot::{Mutex, RwLock};
 use instant_common::{
     ColumnId, Duration, Error, Result, SharedClock, TableId, Timestamp, TupleId, Value,
 };
+use instant_obs::{Obs, Stage};
 use instant_storage::{BufferPool, DiskManager, SecurePolicy};
 use instant_tx::{LockMode, Resource, TxHandle, TxManager};
 use instant_wal::group::{GroupCommit, GroupCommitConfig, GroupCommitStats};
@@ -100,6 +101,12 @@ pub struct DbConfig {
     pub path: Option<PathBuf>,
     /// Key-derivation seed.
     pub key_seed: u64,
+    /// Slow-query threshold: statements slower than this land in the
+    /// observability plane's bounded slow-query ring (statement kind,
+    /// declared purpose, elapsed — never the SQL text). `None` disables
+    /// the ring; the served front-end arms its own default when the
+    /// engine config leaves this unset (see `ServerConfig`).
+    pub slow_query: Option<std::time::Duration>,
 }
 
 impl Default for DbConfig {
@@ -133,6 +140,7 @@ impl Default for DbConfig {
             wal_retention_segments: None,
             path: None,
             key_seed: 0x1DB0_CAFE,
+            slow_query: None,
         }
     }
 }
@@ -220,6 +228,10 @@ pub struct Db {
     txs: TxManager,
     sched: DegradationScheduler,
     stats: DbStats,
+    /// The observability plane (see `instant_obs`): latency histograms,
+    /// tracing spans, per-purpose counters, the slow-query ring. Shared
+    /// with the group-commit writer thread and the served front-end.
+    obs: Arc<Obs>,
     /// Commit/checkpoint ordering gate. User ops hold the shared side
     /// across their page mutation *and* record enqueue; a checkpoint's
     /// flush→Checkpoint-record window holds the exclusive side. Together
@@ -263,8 +275,12 @@ impl Db {
                 None => Wal::temp_with("db", seg_cfg)?,
             })),
         };
+        let obs = Arc::new(Obs::new());
+        obs.set_slow_query_threshold(cfg.slow_query);
         let group = match (&wal, &cfg.group_commit) {
-            (Some(w), Some(gc)) => Some(GroupCommit::spawn(w.clone(), gc.clone())?),
+            (Some(w), Some(gc)) => {
+                Some(GroupCommit::spawn_obs(w.clone(), gc.clone(), obs.clone())?)
+            }
             _ => None,
         };
         let keys = KeyStore::new(cfg.key_window, cfg.key_seed);
@@ -286,6 +302,7 @@ impl Db {
             txs: TxManager::new(),
             sched: DegradationScheduler::new(),
             stats: DbStats::default(),
+            obs,
             ckpt_gate: RwLock::ranked(210, ()),
             ckpt_serial: Mutex::ranked(200, ()),
         })
@@ -305,6 +322,12 @@ impl Db {
     }
     pub fn stats(&self) -> &DbStats {
         &self.stats
+    }
+    /// The observability plane: histograms, spans, purpose counters,
+    /// the slow-query ring. See [`crate::metrics::stats_snapshot`] for
+    /// the full engine snapshot behind `SHOW STATS`.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
     }
     pub fn scheduler(&self) -> &DegradationScheduler {
         &self.sched
@@ -358,12 +381,24 @@ impl Db {
         if self.wal.is_none() || records.is_empty() {
             return Ok(PendingCommit::Off);
         }
+        // Span-gated: with the pipeline this measures the enqueue alone;
+        // inline it covers the whole append + fsync.
+        let _submit = self.obs.span(Stage::CommitSubmit);
         match &self.group {
             Some(g) => Ok(PendingCommit::Ticket(g.submit(records)?)),
-            None => Ok(match self.append_sync(&records)? {
-                Some(lsn) => PendingCommit::Done(lsn),
-                None => PendingCommit::Off,
-            }),
+            None => {
+                // Inline path: the append + fsync below *is* the commit's
+                // durability wait, so time it as the ack latency (the
+                // pipeline path records acks at ticket completion).
+                let started = std::time::Instant::now();
+                Ok(match self.append_sync(&records)? {
+                    Some(lsn) => {
+                        self.obs.commit_ack.record_duration(started.elapsed());
+                        PendingCommit::Done(lsn)
+                    }
+                    None => PendingCommit::Off,
+                })
+            }
         }
     }
 
@@ -783,6 +818,7 @@ impl Db {
 
     /// [`Db::checkpoint`] body; caller holds `ckpt_serial`.
     fn checkpoint_serial_held(&self) -> Result<()> {
+        let _t = self.obs.timed(Stage::Checkpoint);
         let ckpt_lsn = {
             let _excl = self.ckpt_gate.write();
             let now = self.now();
@@ -900,6 +936,7 @@ impl Db {
             .clone()
             .ok_or_else(|| Error::Unsupported("recovery needs a persistent path".into()))?;
         let db = Db::open(cfg, clock)?;
+        let recovery_timer = db.obs.timed(Stage::Recovery);
         // 1. Reattach tables from meta.
         let meta = std::fs::read_to_string(with_ext(&path, "meta")).unwrap_or_default();
         let table_pages = parse_meta_tables(&meta);
@@ -933,6 +970,7 @@ impl Db {
         }
         // 3. Re-arm the scheduler from stored stage bytes.
         db.rearm_all()?;
+        drop(recovery_timer);
         Ok(db)
     }
 

@@ -16,6 +16,7 @@
 //! checkpoints and physically truncated log bytes.
 
 use instant_common::{Result, Value};
+use instant_obs::{HistogramSnapshot, StatsSnapshot};
 
 use crate::catalog::Table;
 use crate::db::Db;
@@ -153,6 +154,12 @@ pub struct WalStats {
     pub group_failed_batches: u64,
     /// Checkpoints executed (caller-driven or `Checkpointer`).
     pub checkpoints: u64,
+    /// Latency of whole pipeline drains (collect → append → fsync →
+    /// complete), microseconds. Empty when the pipeline is off.
+    pub drain_latency: HistogramSnapshot,
+    /// Commit acknowledgement latency: submit (or inline append start)
+    /// to durable ack, microseconds.
+    pub ack_latency: HistogramSnapshot,
 }
 
 impl WalStats {
@@ -183,7 +190,79 @@ pub fn wal_stats(db: &Db) -> WalStats {
             .stats()
             .checkpoints
             .load(std::sync::atomic::Ordering::Relaxed),
+        drain_latency: db.obs().wal_drain.snapshot(),
+        ack_latency: db.obs().commit_ack.snapshot(),
     }
+}
+
+/// The full observability snapshot served by `SHOW STATS` and the wire
+/// `Stats` frame: every stage histogram plus the engine counters
+/// (durability pipeline, tuple life cycle, degradation scheduler) and
+/// the paper-specific timeliness gauges.
+pub fn stats_snapshot(db: &Db) -> StatsSnapshot {
+    use std::sync::atomic::Ordering::Relaxed;
+
+    let mut snap = db.obs().snapshot();
+
+    let d = db.stats();
+    for (name, v) in [
+        ("db.inserts", d.inserts.load(Relaxed)),
+        ("db.updates", d.updates.load(Relaxed)),
+        ("db.user_deletes", d.user_deletes.load(Relaxed)),
+        ("db.degrade_steps", d.degrade_steps.load(Relaxed)),
+        ("db.expunges", d.expunges.load(Relaxed)),
+        ("db.checkpoints", d.checkpoints.load(Relaxed)),
+        (
+            "db.degrader_lock_retries",
+            d.degrader_lock_retries.load(Relaxed),
+        ),
+        (
+            "db.forced_checkpoint_failures",
+            d.forced_checkpoint_failures.load(Relaxed),
+        ),
+    ] {
+        snap.counters.push((name.to_string(), v));
+    }
+
+    let w = wal_stats(db);
+    for (name, v) in [
+        ("wal.appended", w.appended),
+        ("wal.fsyncs", w.fsyncs),
+        ("wal.truncated_bytes", w.truncated_bytes),
+        ("wal.segments", w.segments),
+        ("wal.segment_rotations", w.segment_rotations),
+        ("wal.segments_deleted", w.segments_deleted),
+        ("wal.group_commits", w.group_commits),
+        ("wal.group_batches", w.group_batches),
+        ("wal.group_max_batch", w.group_max_batch),
+        ("wal.group_failed_batches", w.group_failed_batches),
+        ("wal.fsyncs_saved", w.fsyncs_saved()),
+    ] {
+        snap.counters.push((name.to_string(), v));
+    }
+
+    let sched = db.scheduler();
+    snap.counters
+        .push(("sched.fired".to_string(), sched.fired()));
+    snap.counters
+        .push(("sched.pending".to_string(), sched.len() as u64));
+
+    // Degradation-timeliness lag (the paper's guarantee made visible):
+    // now minus the oldest overdue transition deadline, overall and per
+    // LCP stage. Zero means every due transition has been executed.
+    let now = db.now();
+    snap.gauges.push((
+        "degradation.overdue_lag_us".to_string(),
+        sched.overdue_lag(now).as_micros() as i64,
+    ));
+    for (stage, lag) in sched.overdue_lag_by_stage(now) {
+        snap.gauges.push((
+            format!("degradation.overdue_lag_us.stage{stage}"),
+            lag.as_micros() as i64,
+        ));
+    }
+
+    snap
 }
 
 /// On-disk footprint: `(heap bytes, wal bytes)`.

@@ -114,6 +114,27 @@ pub enum Statement {
     /// deployments, where no caller can reach
     /// [`Db::checkpoint`](crate::db::Db::checkpoint) directly.
     Checkpoint,
+    /// `SHOW STATS` — the full observability snapshot: stage latency
+    /// histograms, engine counters, degradation-timeliness gauges,
+    /// per-purpose query counts and the slow-query log.
+    ShowStats,
+}
+
+impl Statement {
+    /// A short, fixed label for this statement's kind — what the
+    /// slow-query log records instead of SQL text (which may embed
+    /// sensitive literals).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Statement::CreateTable { .. } => "create_table",
+            Statement::Insert { .. } => "insert",
+            Statement::Select { .. } => "select",
+            Statement::Delete { .. } => "delete",
+            Statement::DeclarePurpose { .. } => "declare_purpose",
+            Statement::Checkpoint => "checkpoint",
+            Statement::ShowStats => "show_stats",
+        }
+    }
 }
 
 #[cfg(test)]

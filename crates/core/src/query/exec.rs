@@ -52,6 +52,9 @@ pub enum QueryOutput {
     PurposeDeclared(String),
     /// A `CHECKPOINT` completed (flush → log → shred → truncate).
     Checkpointed,
+    /// `SHOW STATS`: the full observability snapshot (boxed — it is two
+    /// orders of magnitude bigger than every other variant).
+    Stats(Box<instant_obs::StatsSnapshot>),
 }
 
 impl QueryOutput {
@@ -98,6 +101,9 @@ pub fn run(session: &mut Session, stmt: Statement) -> Result<QueryOutput> {
             session.db().checkpoint()?;
             Ok(QueryOutput::Checkpointed)
         }
+        Statement::ShowStats => Ok(QueryOutput::Stats(Box::new(
+            crate::metrics::stats_snapshot(session.db()),
+        ))),
         Statement::DeclarePurpose { .. } => unreachable!("handled by Session::run"),
     }
 }

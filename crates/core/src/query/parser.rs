@@ -3,7 +3,8 @@
 //! Grammar (keywords case-insensitive):
 //!
 //! ```text
-//! stmt        := create | insert | select | delete | declare | checkpoint
+//! stmt        := create | insert | select | delete | declare | checkpoint | show
+//! show        := SHOW STATS
 //! create      := CREATE TABLE name '(' coldef (',' coldef)* ')'
 //! coldef      := name type [DEGRADE USING ident LCP string] [INDEXED]
 //! insert      := INSERT INTO name VALUES tuple (',' tuple)*
@@ -136,6 +137,10 @@ impl Parser {
         } else if t.is_kw("checkpoint") {
             self.pos += 1;
             Ok(Statement::Checkpoint)
+        } else if t.is_kw("show") {
+            self.pos += 1;
+            self.expect_kw("stats")?;
+            Ok(Statement::ShowStats)
         } else {
             Err(Error::Parse(format!("unsupported statement start: {t:?}")))
         }
@@ -447,6 +452,14 @@ mod tests {
         assert!(parse("INSERT INTO t VALUES 1,2").is_err());
         assert!(parse("SELECT * FROM t extra").is_err());
         assert!(parse("CREATE TABLE t (x BLOBBY DEGRADE)").is_err());
+    }
+
+    #[test]
+    fn parses_show_stats() {
+        assert_eq!(parse("SHOW STATS").unwrap(), Statement::ShowStats);
+        assert_eq!(parse("show stats;").unwrap(), Statement::ShowStats);
+        assert!(parse("SHOW").is_err());
+        assert!(parse("SHOW TABLES").is_err());
     }
 
     #[test]

@@ -175,9 +175,46 @@ impl Session {
     }
 
     /// Parse and execute one SQL statement.
+    ///
+    /// The whole call feeds `query.total`; parse and execution feed their
+    /// stage histograms when spans are on. Every attempt (including
+    /// failures — they cost latency too) is counted against the active
+    /// purpose, and over-threshold statements land in the slow-query log
+    /// by *kind*, never by SQL text (literals may be sensitive).
     pub fn execute(&mut self, sql: &str) -> Result<QueryOutput> {
-        let stmt = parser::parse(sql)?;
-        self.run(stmt)
+        let obs = self.db.obs().clone();
+        let started = std::time::Instant::now();
+        let parsed = {
+            let _parse = obs.span(instant_obs::Stage::QueryParse);
+            parser::parse(sql)
+        };
+        let stmt = match parsed {
+            Ok(stmt) => stmt,
+            Err(e) => {
+                obs.record_query(
+                    "parse_error",
+                    self.active_purpose.as_deref(),
+                    0,
+                    started.elapsed(),
+                );
+                return Err(e);
+            }
+        };
+        let kind = stmt.kind();
+        // Attribute to the purpose in effect when the query *started* — a
+        // DECLARE PURPOSE counts against its predecessor, not itself.
+        let purpose = self.active_purpose.clone();
+        let result = {
+            let _exec = obs.span(instant_obs::Stage::QueryExec);
+            self.run(stmt)
+        };
+        let rows = match &result {
+            Ok(QueryOutput::Rows(r)) => r.rows.len() as u64,
+            Ok(QueryOutput::Inserted(n)) | Ok(QueryOutput::Deleted(n)) => *n as u64,
+            _ => 0,
+        };
+        obs.record_query(kind, purpose.as_deref(), rows, started.elapsed());
+        result
     }
 
     /// Execute a parsed statement.
@@ -242,6 +279,58 @@ mod tests {
             s.active_purpose().unwrap().levels.get("location").unwrap(),
             "COUNTRY"
         );
+    }
+
+    #[test]
+    fn show_stats_surfaces_purpose_counts_and_engine_counters() {
+        let mut s = session();
+        s.execute("DECLARE PURPOSE STAT SET ACCURACY LEVEL COUNTRY FOR P.LOCATION")
+            .unwrap();
+        // Counted against the active purpose even though it errors.
+        assert!(s.execute("SELECT * FROM missing").is_err());
+        let out = s.execute("SHOW STATS").unwrap();
+        let QueryOutput::Stats(snap) = out else {
+            panic!("expected stats output");
+        };
+        let stat = snap
+            .purposes
+            .iter()
+            .find(|(p, _)| p == "stat")
+            .map(|(_, c)| *c)
+            .expect("purpose 'stat' counted");
+        assert!(stat.queries >= 1);
+        // The declare ran before any purpose was active.
+        assert!(snap.purposes.iter().any(|(p, _)| p == "(none)"));
+        assert!(snap.hist("query.total").map(|h| h.count).unwrap_or(0) >= 2);
+        assert_eq!(snap.counter("db.inserts"), Some(0));
+        assert!(snap.gauge("degradation.overdue_lag_us").is_some());
+    }
+
+    #[test]
+    fn slow_query_log_records_kind_not_sql_text() {
+        let mut s = session();
+        s.db()
+            .obs()
+            .set_slow_query_threshold(Some(std::time::Duration::from_nanos(1)));
+        // Plenty of attempts so at least one crosses the 1 µs floor.
+        for _ in 0..50 {
+            let _ = s.execute("SELECT * FROM missing WHERE secret = 'sensitive-literal'");
+        }
+        let out = s.execute("SHOW STATS").unwrap();
+        let QueryOutput::Stats(snap) = out else {
+            panic!("expected stats output");
+        };
+        let slow = snap
+            .slow_queries
+            .iter()
+            .find(|q| q.kind == "select")
+            .expect("over-threshold select in the slow log");
+        assert!(slow.elapsed_micros >= 1);
+        // The log stores statement kinds, never SQL text or literals.
+        assert!(snap
+            .slow_queries
+            .iter()
+            .all(|q| !q.kind.contains("sensitive")));
     }
 
     #[test]

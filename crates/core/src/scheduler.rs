@@ -201,6 +201,34 @@ impl DegradationScheduler {
     pub fn clear(&self) {
         self.queue.lock().clear();
     }
+
+    /// Degradation-timeliness lag: how far past due the *oldest* pending
+    /// transition is at `now` (zero when nothing is overdue). The paper's
+    /// timeliness guarantee is exactly "this stays near zero".
+    pub fn overdue_lag(&self, now: Timestamp) -> Duration {
+        match self.next_due() {
+            Some(due) if due <= now => now.since(due),
+            _ => Duration::ZERO,
+        }
+    }
+
+    /// Per-stage overdue lag: for each LCP stage with at least one overdue
+    /// transition, the worst (oldest) lag at `now`. Walks the whole heap
+    /// under the queue lock — stats-path only, never on the commit path.
+    pub fn overdue_lag_by_stage(&self, now: Timestamp) -> Vec<(u8, Duration)> {
+        let q = self.queue.lock();
+        let mut worst: std::collections::BTreeMap<u8, Duration> = std::collections::BTreeMap::new();
+        for Reverse(pt) in q.iter() {
+            if pt.due <= now {
+                let lag = now.since(pt.due);
+                let e = worst.entry(pt.from_stage).or_insert(Duration::ZERO);
+                if lag > *e {
+                    *e = lag;
+                }
+            }
+        }
+        worst.into_iter().collect()
+    }
 }
 
 #[cfg(test)]
@@ -293,6 +321,42 @@ mod tests {
         s.clear();
         assert!(s.is_empty());
         assert_eq!(s.next_due(), None);
+    }
+
+    #[test]
+    fn overdue_lag_overall_and_per_stage() {
+        let s = DegradationScheduler::new();
+        // Empty queue: nothing is overdue.
+        assert_eq!(s.overdue_lag(Timestamp::micros(500)), Duration::ZERO);
+        assert!(s.overdue_lag_by_stage(Timestamp::micros(500)).is_empty());
+
+        s.schedule(PendingTransition {
+            from_stage: 0,
+            ..pt(100, 0)
+        });
+        s.schedule(PendingTransition {
+            from_stage: 1,
+            ..pt(300, 1)
+        });
+        s.schedule(PendingTransition {
+            from_stage: 1,
+            ..pt(900, 2)
+        });
+
+        // Before anything is due, lag is zero.
+        assert_eq!(s.overdue_lag(Timestamp::micros(50)), Duration::ZERO);
+        // At t=400 both stage-0 (due 100) and stage-1 (due 300) are late;
+        // the overall lag is the oldest one.
+        assert_eq!(s.overdue_lag(Timestamp::micros(400)), Duration::micros(300));
+        let by_stage = s.overdue_lag_by_stage(Timestamp::micros(400));
+        assert_eq!(
+            by_stage,
+            vec![(0, Duration::micros(300)), (1, Duration::micros(100)),]
+        );
+        // The t=900 transition isn't overdue yet and contributes nothing.
+        assert!(by_stage
+            .iter()
+            .all(|(_, lag)| *lag <= Duration::micros(300)));
     }
 
     #[test]

@@ -143,5 +143,38 @@ fn print_output(output: &QueryOutput) {
             }
             println!("({} rows)", r.rows.len());
         }
+        QueryOutput::Stats(snap) => print_stats(snap),
+    }
+}
+
+fn print_stats(snap: &instant_obs::StatsSnapshot) {
+    println!("histogram\tcount\tp50_us\tp95_us\tp99_us\tmax_us");
+    for (name, h) in &snap.hists {
+        if h.is_empty() {
+            continue;
+        }
+        println!(
+            "{name}\t{}\t{}\t{}\t{}\t{}",
+            h.count,
+            h.p50(),
+            h.p95(),
+            h.p99(),
+            h.max_micros
+        );
+    }
+    for (name, v) in &snap.counters {
+        println!("counter\t{name}\t{v}");
+    }
+    for (name, v) in &snap.gauges {
+        println!("gauge\t{name}\t{v}");
+    }
+    for (purpose, c) in &snap.purposes {
+        println!("purpose\t{purpose}\tqueries={}\trows={}", c.queries, c.rows);
+    }
+    for q in &snap.slow_queries {
+        println!(
+            "slow_query\t{}\tpurpose={}\telapsed_us={}",
+            q.kind, q.purpose, q.elapsed_micros
+        );
     }
 }

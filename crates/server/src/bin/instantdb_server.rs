@@ -28,7 +28,7 @@ fn usage(err: &str) -> ! {
         "usage: instantdb-server [--addr A] [--data PATH] [--max-conns N] \
          [--workers N] [--queue-depth N] [--max-frame-bytes N] \
          [--checkpoint-every-ms N] [--degrade-every-ms N] \
-         [--wal-retention-segments N] [--stdin-control]"
+         [--wal-retention-segments N] [--slow-query-ms N] [--stdin-control]"
     );
     std::process::exit(2);
 }
@@ -43,6 +43,7 @@ struct Args {
     checkpoint_every_ms: Option<u64>,
     degrade_every_ms: Option<u64>,
     wal_retention_segments: Option<u64>,
+    slow_query_ms: Option<u64>,
     stdin_control: bool,
 }
 
@@ -57,6 +58,7 @@ fn parse_args() -> Args {
         checkpoint_every_ms: None,
         degrade_every_ms: Some(250),
         wal_retention_segments: None,
+        slow_query_ms: None,
         stdin_control: false,
     };
     let mut it = std::env::args().skip(1);
@@ -91,6 +93,9 @@ fn parse_args() -> Args {
                     "--wal-retention-segments",
                 ))
             }
+            "--slow-query-ms" => {
+                args.slow_query_ms = Some(parse(&value("--slow-query-ms"), "--slow-query-ms"))
+            }
             "--stdin-control" => args.stdin_control = true,
             "--help" | "-h" => usage("help requested"),
             other => usage(&format!("unknown flag {other}")),
@@ -116,6 +121,7 @@ fn main() {
             .checkpoint_every_ms
             .map(std::time::Duration::from_millis),
         wal_retention_segments: args.wal_retention_segments,
+        slow_query: args.slow_query_ms.map(std::time::Duration::from_millis),
         ..DbConfig::default()
     };
     let db = match open_or_recover(db_cfg, Arc::new(SystemClock), &hierarchies) {
@@ -148,7 +154,9 @@ fn main() {
 
     if args.stdin_control {
         // Control protocol: any `shutdown` line (or EOF) triggers a
-        // graceful stop; `stats` prints a counter snapshot.
+        // graceful stop; `stats` prints a counter snapshot; `stats-ndjson`
+        // dumps the full observability snapshot one JSON object per line
+        // (terminated by a blank line so a controller knows it is done).
         let stdin = std::io::stdin();
         let mut line = String::new();
         loop {
@@ -160,6 +168,14 @@ fn main() {
                     "shutdown" | "quit" | "exit" => break,
                     "stats" => {
                         println!("{:?}", server.stats());
+                        let _ = std::io::stdout().flush();
+                    }
+                    "stats-ndjson" => {
+                        let snap = instant_core::metrics::stats_snapshot(server.db());
+                        for l in snap.ndjson_lines("server") {
+                            println!("{l}");
+                        }
+                        println!();
                         let _ = std::io::stdout().flush();
                     }
                     "" => {}

@@ -113,6 +113,8 @@ impl Client {
                 }
                 Ok(output)
             }
+            // `SHOW STATS` answers ride a dedicated frame kind.
+            Frame::Stats(snap) => Ok(QueryOutput::Stats(snap)),
             Frame::Error { class, message } => Err(Frame::to_engine_error(&class, &message)),
             other => Err(Error::Corrupt(format!(
                 "unexpected response frame {other:?}"
@@ -219,7 +221,9 @@ impl Client {
 /// connection died.
 fn replay_safe(sql: &str) -> bool {
     let first = sql.split_whitespace().next().unwrap_or("");
-    first.eq_ignore_ascii_case("select") || first.eq_ignore_ascii_case("declare")
+    first.eq_ignore_ascii_case("select")
+        || first.eq_ignore_ascii_case("declare")
+        || first.eq_ignore_ascii_case("show")
 }
 
 #[cfg(test)]
@@ -231,6 +235,7 @@ mod tests {
         assert!(replay_safe("SELECT * FROM t"));
         assert!(replay_safe("  select 1"));
         assert!(replay_safe("DECLARE PURPOSE p SET ACCURACY LEVEL d1 FOR x"));
+        assert!(replay_safe("SHOW STATS"));
         assert!(!replay_safe("INSERT INTO t VALUES (1)"));
         assert!(!replay_safe("DELETE FROM t"));
         assert!(!replay_safe("CREATE TABLE t (id INT)"));

@@ -34,6 +34,7 @@ use std::io::{Read, Write};
 use instant_common::codec::{decode_row, encode_row, raw};
 use instant_common::{Error, Result};
 use instant_core::query::{QueryOutput, QueryResult};
+use instant_obs::{HistogramSnapshot, PurposeCounters, SlowQuery, StatsSnapshot};
 
 /// Handshake magic: identifies the InstantDB wire protocol.
 pub const MAGIC: [u8; 4] = *b"IDBW";
@@ -49,6 +50,7 @@ const KIND_ERROR: u8 = 4;
 const KIND_PING: u8 = 5;
 const KIND_PONG: u8 = 6;
 const KIND_CLOSE: u8 = 7;
+const KIND_STATS: u8 = 8;
 
 /// One protocol frame.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,6 +70,10 @@ pub enum Frame {
     /// Graceful end of session (client → server); the server closes the
     /// connection without a reply.
     Close,
+    /// The full observability snapshot (server → client): the server's
+    /// answer to `SHOW STATS`, in a dedicated frame so monitoring agents
+    /// can match on the kind byte without decoding result-set payloads.
+    Stats(Box<StatsSnapshot>),
 }
 
 impl Frame {
@@ -109,6 +115,10 @@ impl Frame {
             Frame::Ping => out.push(KIND_PING),
             Frame::Pong => out.push(KIND_PONG),
             Frame::Close => out.push(KIND_CLOSE),
+            Frame::Stats(snap) => {
+                out.push(KIND_STATS);
+                encode_snapshot(snap, &mut out);
+            }
         }
         out
     }
@@ -140,6 +150,7 @@ impl Frame {
             KIND_PING => Frame::Ping,
             KIND_PONG => Frame::Pong,
             KIND_CLOSE => Frame::Close,
+            KIND_STATS => Frame::Stats(Box::new(decode_snapshot(&mut body)?)),
             other => return Err(Error::Corrupt(format!("unknown frame kind {other}"))),
         };
         if !body.is_empty() {
@@ -158,6 +169,7 @@ const OUT_ROWS: u8 = 2;
 const OUT_DELETED: u8 = 3;
 const OUT_PURPOSE: u8 = 4;
 const OUT_CHECKPOINTED: u8 = 5;
+const OUT_STATS: u8 = 6;
 
 fn encode_output(output: &QueryOutput, out: &mut Vec<u8>) {
     match output {
@@ -190,6 +202,10 @@ fn encode_output(output: &QueryOutput, out: &mut Vec<u8>) {
             raw::put_bytes(out, name.as_bytes());
         }
         QueryOutput::Checkpointed => out.push(OUT_CHECKPOINTED),
+        QueryOutput::Stats(snap) => {
+            out.push(OUT_STATS);
+            encode_snapshot(snap, out);
+        }
     }
 }
 
@@ -220,8 +236,118 @@ fn decode_output(buf: &mut &[u8]) -> Result<QueryOutput> {
         OUT_DELETED => QueryOutput::Deleted(raw::get_u64(buf)? as usize),
         OUT_PURPOSE => QueryOutput::PurposeDeclared(get_string(buf)?),
         OUT_CHECKPOINTED => QueryOutput::Checkpointed,
+        OUT_STATS => QueryOutput::Stats(Box::new(decode_snapshot(buf)?)),
         other => return Err(Error::Corrupt(format!("unknown output tag {other}"))),
     })
+}
+
+/// Encode a [`StatsSnapshot`]. Histograms go sparse — `(bucket index,
+/// count)` pairs for the non-zero buckets only — since a live snapshot
+/// typically populates a handful of its 64 buckets.
+fn encode_snapshot(s: &StatsSnapshot, out: &mut Vec<u8>) {
+    raw::put_u32(out, s.counters.len() as u32);
+    for (name, v) in &s.counters {
+        raw::put_bytes(out, name.as_bytes());
+        raw::put_u64(out, *v);
+    }
+    raw::put_u32(out, s.gauges.len() as u32);
+    for (name, v) in &s.gauges {
+        raw::put_bytes(out, name.as_bytes());
+        raw::put_u64(out, *v as u64);
+    }
+    raw::put_u32(out, s.hists.len() as u32);
+    for (name, h) in &s.hists {
+        raw::put_bytes(out, name.as_bytes());
+        encode_hist(h, out);
+    }
+    raw::put_u32(out, s.purposes.len() as u32);
+    for (name, c) in &s.purposes {
+        raw::put_bytes(out, name.as_bytes());
+        raw::put_u64(out, c.queries);
+        raw::put_u64(out, c.rows);
+    }
+    raw::put_u32(out, s.slow_queries.len() as u32);
+    for q in &s.slow_queries {
+        raw::put_bytes(out, q.kind.as_bytes());
+        raw::put_bytes(out, q.purpose.as_bytes());
+        raw::put_u64(out, q.elapsed_micros);
+    }
+}
+
+fn decode_snapshot(buf: &mut &[u8]) -> Result<StatsSnapshot> {
+    let mut s = StatsSnapshot::default();
+    let n = raw::get_u32(buf)? as usize;
+    s.counters.reserve(n.min(1024));
+    for _ in 0..n {
+        let name = get_string(buf)?;
+        s.counters.push((name, raw::get_u64(buf)?));
+    }
+    let n = raw::get_u32(buf)? as usize;
+    s.gauges.reserve(n.min(1024));
+    for _ in 0..n {
+        let name = get_string(buf)?;
+        s.gauges.push((name, raw::get_u64(buf)? as i64));
+    }
+    let n = raw::get_u32(buf)? as usize;
+    s.hists.reserve(n.min(1024));
+    for _ in 0..n {
+        let name = get_string(buf)?;
+        s.hists.push((name, decode_hist(buf)?));
+    }
+    let n = raw::get_u32(buf)? as usize;
+    s.purposes.reserve(n.min(1024));
+    for _ in 0..n {
+        let name = get_string(buf)?;
+        let queries = raw::get_u64(buf)?;
+        let rows = raw::get_u64(buf)?;
+        s.purposes.push((name, PurposeCounters { queries, rows }));
+    }
+    let n = raw::get_u32(buf)? as usize;
+    s.slow_queries.reserve(n.min(1024));
+    for _ in 0..n {
+        let kind = get_string(buf)?;
+        let purpose = get_string(buf)?;
+        let elapsed_micros = raw::get_u64(buf)?;
+        s.slow_queries.push(SlowQuery {
+            kind,
+            purpose,
+            elapsed_micros,
+        });
+    }
+    Ok(s)
+}
+
+fn encode_hist(h: &HistogramSnapshot, out: &mut Vec<u8>) {
+    raw::put_u64(out, h.sum_micros);
+    raw::put_u64(out, h.max_micros);
+    let nonzero = h.buckets.iter().filter(|b| **b != 0).count();
+    raw::put_u32(out, nonzero as u32);
+    for (i, b) in h.buckets.iter().enumerate() {
+        if *b != 0 {
+            out.push(i as u8);
+            raw::put_u64(out, *b);
+        }
+    }
+}
+
+fn decode_hist(buf: &mut &[u8]) -> Result<HistogramSnapshot> {
+    let mut h = HistogramSnapshot {
+        sum_micros: raw::get_u64(buf)?,
+        max_micros: raw::get_u64(buf)?,
+        ..HistogramSnapshot::default()
+    };
+    let nonzero = raw::get_u32(buf)? as usize;
+    for _ in 0..nonzero {
+        let idx = take(buf, 1)?[0] as usize;
+        let count = raw::get_u64(buf)?;
+        let slot = h
+            .buckets
+            .get_mut(idx)
+            .ok_or_else(|| Error::Corrupt(format!("histogram bucket index {idx} out of range")))?;
+        *slot = count;
+        h.count += count;
+    }
+    Ok(h)
 }
 
 /// Write one frame (length prefix + payload) and flush it. A payload
@@ -375,10 +501,82 @@ mod tests {
             Frame::Ping,
             Frame::Pong,
             Frame::Close,
+            Frame::ResultSet(QueryOutput::Stats(Box::new(sample_snapshot()))),
+            Frame::Stats(Box::new(sample_snapshot())),
+            Frame::Stats(Box::default()),
         ];
         for f in frames {
             assert_eq!(round_trip(f.clone()), f, "{f:?}");
         }
+    }
+
+    fn sample_snapshot() -> StatsSnapshot {
+        let mut h = HistogramSnapshot::default();
+        h.buckets[0] = 1;
+        h.buckets[7] = 3;
+        h.buckets[63] = 2;
+        h.count = 6;
+        h.sum_micros = 5_000;
+        h.max_micros = u64::MAX;
+        let mut s = StatsSnapshot::default();
+        s.counters.push(("wal.fsyncs".into(), 42));
+        s.counters.push(("server.queries".into(), u64::MAX));
+        s.gauges.push(("degradation.overdue_lag_us".into(), 12_345));
+        s.gauges.push(("clock.skew_us".into(), -7)); // negative survives
+        s.hists.push(("commit.ack".into(), h));
+        s.purposes.push((
+            "stat".into(),
+            PurposeCounters {
+                queries: 9,
+                rows: 100,
+            },
+        ));
+        s.slow_queries.push(SlowQuery {
+            kind: "select".into(),
+            purpose: "(none)".into(),
+            elapsed_micros: 999,
+        });
+        s
+    }
+
+    #[test]
+    fn stats_snapshot_codec_reconstructs_derived_count() {
+        let snap = sample_snapshot();
+        let Frame::Stats(back) = round_trip(Frame::Stats(Box::new(snap.clone()))) else {
+            panic!("expected stats frame");
+        };
+        // The sparse codec does not ship `count`; decode re-derives it
+        // from the buckets, so it must match the original exactly.
+        let h = back.hist("commit.ack").expect("hist survived");
+        assert_eq!(h.count, 6);
+        assert_eq!(h.p50(), snap.hist("commit.ack").unwrap().p50());
+        assert_eq!(back.gauge("clock.skew_us"), Some(-7));
+        assert_eq!(back.counter("server.queries"), Some(u64::MAX));
+    }
+
+    #[test]
+    fn corrupt_hist_bucket_index_rejected() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Stats(Box::new(sample_snapshot()))).unwrap();
+        // The first bucket index byte lives right after the fixed-size
+        // header fields; find and corrupt it via a targeted re-encode.
+        let mut payload = vec![KIND_STATS];
+        let mut s = StatsSnapshot::default();
+        let mut h = HistogramSnapshot::default();
+        h.buckets[1] = 5;
+        h.count = 5;
+        s.hists.push(("x".into(), h));
+        encode_snapshot(&s, &mut payload);
+        // From the end: two empty-section u32 counts (purposes, slow) =
+        // 8 bytes, the bucket count u64 = 8 bytes, then the index byte.
+        let idx_pos = payload.len() - 17;
+        assert_eq!(payload[idx_pos], 1);
+        payload[idx_pos] = 200; // out of range
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        wire.extend_from_slice(&payload);
+        let err = read_frame(&mut wire.as_slice(), DEFAULT_MAX_FRAME_BYTES).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "{err:?}");
     }
 
     #[test]

@@ -42,6 +42,7 @@ use parking_lot::{Condvar, Mutex};
 use instant_common::{Error, Result, SharedClock};
 use instant_core::query::{schema_for_create, HierarchyRegistry, QueryOutput};
 use instant_core::{Checkpointer, Db, DbConfig, DegradationDaemon, Session};
+use instant_obs::Stage;
 
 use crate::protocol::{self, Frame, PROTOCOL_VERSION};
 use crate::stats::{ServerStats, StatsCells};
@@ -76,6 +77,10 @@ pub struct ServerConfig {
     /// parking a worker forever; a slow-but-draining reader gets a fresh
     /// allowance per partial write and is unaffected.
     pub write_timeout: StdDuration,
+    /// Slow-query threshold for the engine's slow-query log. Applied at
+    /// start only when [`DbConfig::slow_query`] left the engine's own
+    /// threshold unset; `None` here keeps whatever the engine has.
+    pub slow_query: Option<StdDuration>,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +94,7 @@ impl Default for ServerConfig {
             degrade_every: None,
             handshake_timeout: StdDuration::from_secs(10),
             write_timeout: StdDuration::from_secs(30),
+            slow_query: Some(StdDuration::from_millis(250)),
         }
     }
 }
@@ -237,7 +243,9 @@ struct Shared {
     db: Arc<Db>,
     hierarchies: HierarchyRegistry,
     cfg: ServerConfig,
-    stats: StatsCells,
+    /// Shared with the obs "server" counter provider, which outlives any
+    /// one `Server` over the same engine (re-registration replaces it).
+    stats: Arc<StatsCells>,
     queue: JobQueue,
     shutting_down: AtomicBool,
     next_conn_id: AtomicU64,
@@ -300,7 +308,7 @@ impl Server {
             db,
             hierarchies,
             cfg,
-            stats: StatsCells::default(),
+            stats: Arc::new(StatsCells::default()),
             shutting_down: AtomicBool::new(false),
             next_conn_id: AtomicU64::new(1),
             refusing: AtomicU64::new(0),
@@ -308,6 +316,36 @@ impl Server {
             readers: Mutex::ranked(110, Vec::new()),
             ddl,
         });
+        // Served engines run with tracing spans on: the query/commit
+        // stage histograms behind `SHOW STATS` are the point of serving.
+        // (Embedded engines leave them off — zero cost unless opted in.)
+        shared.db.obs().set_spans_enabled(true);
+        // Arm the slow-query log unless the engine config already chose.
+        if shared.db.config().slow_query.is_none() {
+            if let Some(threshold) = shared.cfg.slow_query {
+                shared.db.obs().set_slow_query_threshold(Some(threshold));
+            }
+        }
+        // Fold the network counters into the engine's stats snapshot so
+        // `SHOW STATS` is the whole story (engine + serving layer).
+        {
+            let cells = shared.stats.clone();
+            shared.db.obs().register_provider("server", move || {
+                let s = cells.snapshot();
+                vec![
+                    ("connections_accepted".into(), s.connections_accepted),
+                    ("connections_active".into(), s.connections_active),
+                    ("connections_shed".into(), s.connections_shed),
+                    ("frames".into(), s.frames),
+                    ("queries".into(), s.queries),
+                    ("query_errors".into(), s.query_errors),
+                    ("queries_shed".into(), s.queries_shed),
+                    ("pings".into(), s.pings),
+                    ("protocol_errors".into(), s.protocol_errors),
+                    ("dropped_replies".into(), s.dropped_replies),
+                ]
+            });
+        }
         // Thread spawns can fail under resource pressure; a server that
         // cannot field its pool must report that, not panic half-built.
         // Closing the queue unblocks any workers that did start so they
@@ -700,7 +738,12 @@ fn worker_loop(shared: &Arc<Shared>) {
                     _ => Ok(()),
                 };
                 match journaled {
-                    Ok(()) => Frame::ResultSet(output),
+                    // A stats snapshot rides its own frame kind, so
+                    // monitoring agents can match on the kind byte.
+                    Ok(()) => match output {
+                        QueryOutput::Stats(snap) => Frame::Stats(snap),
+                        other => Frame::ResultSet(other),
+                    },
                     Err(e) => {
                         shared.stats.add(|s| &s.query_errors);
                         Frame::error(&e)
@@ -712,6 +755,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                 Frame::error(&e)
             }
         };
+        let _reply_span = shared.db.obs().span(Stage::QueryReply);
         if !job.conn.finish_turn(&reply) {
             // Mid-query disconnect: the commit (if any) stands, the
             // reply has no reader. The worker moves on.

@@ -88,6 +88,63 @@ fn wire_round_trip_and_session_state() {
 }
 
 #[test]
+fn show_stats_over_live_tcp_returns_full_snapshot() {
+    // A 1ns threshold (clamped to 1us by the engine) makes every wire
+    // query "slow", so the slow-query log is exercised end to end too.
+    let server = ephemeral_server(ServerConfig {
+        slow_query: Some(Duration::from_nanos(1)),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    client.query(CREATE_PERSON).unwrap();
+    client
+        .query("INSERT INTO person VALUES (1, '4 rue Jussieu')")
+        .unwrap();
+    client
+        .query("DECLARE PURPOSE STAT SET ACCURACY LEVEL CITY FOR LOCATION")
+        .unwrap();
+    client.query("SELECT location FROM person").unwrap();
+
+    let QueryOutput::Stats(snap) = client.query("SHOW STATS").unwrap() else {
+        panic!("SHOW STATS must answer with a stats snapshot");
+    };
+    // Commit-latency percentiles from the real durability path.
+    let ack = snap.hist("commit.ack").expect("commit.ack histogram");
+    assert!(ack.count >= 1, "the INSERT's commit was recorded: {ack:?}");
+    assert!(ack.p99() >= ack.p50(), "{ack:?}");
+    // Served engines run with spans on: the query stages are populated.
+    assert!(snap.hist("query.total").is_some_and(|h| h.count >= 4));
+    assert!(snap.hist("query.parse").is_some_and(|h| h.count >= 4));
+    assert!(snap.hist("query.exec").is_some_and(|h| h.count >= 4));
+    // Degradation-timeliness lag gauge (zero here — nothing is overdue).
+    assert_eq!(snap.gauge("degradation.overdue_lag_us"), Some(0));
+    // Engine counters and the server-side provider are folded in.
+    assert_eq!(snap.counter("db.inserts"), Some(1));
+    assert!(snap.counter("server.queries").is_some_and(|q| q >= 4));
+    assert!(snap
+        .counter("server.connections_accepted")
+        .is_some_and(|c| c >= 1));
+    // Per-purpose query/row counts: the SELECT ran under STAT, everything
+    // before the DECLARE under the "(none)" bucket.
+    let purpose = |name: &str| snap.purposes.iter().find(|(n, _)| n == name);
+    assert!(purpose("stat").is_some_and(|(_, c)| c.queries >= 1 && c.rows >= 1));
+    assert!(purpose("(none)").is_some_and(|(_, c)| c.queries >= 3));
+    // Every wire query beat the 1us threshold into the slow-query log —
+    // which records statement kinds, never SQL text.
+    assert!(!snap.slow_queries.is_empty());
+    assert!(snap.slow_queries.iter().any(|q| q.kind == "select"));
+    assert!(snap
+        .slow_queries
+        .iter()
+        .all(|q| !q.kind.contains("Jussieu")));
+
+    client.close().unwrap();
+    server.shutdown().unwrap();
+}
+
+#[test]
 fn connection_gate_sheds_with_typed_error() {
     let server = ephemeral_server(ServerConfig {
         max_connections: 1,

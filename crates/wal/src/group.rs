@@ -35,11 +35,12 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration as StdDuration;
+use std::time::{Duration as StdDuration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
 use instant_common::{Error, Result};
+use instant_obs::Obs;
 
 use crate::record::{LogRecord, Lsn};
 use crate::writer::Wal;
@@ -105,6 +106,8 @@ enum TicketState {
 struct Ticket {
     state: Mutex<TicketState>, // lock-rank: 510
     cv: Condvar,
+    /// When the committer submitted — the start of its ack latency.
+    submitted: Instant,
 }
 
 impl Ticket {
@@ -112,6 +115,7 @@ impl Ticket {
         Ticket {
             state: Mutex::ranked(510, TicketState::Pending),
             cv: Condvar::new(),
+            submitted: Instant::now(),
         }
     }
 
@@ -166,6 +170,9 @@ struct Shared {
     /// Signals the writer that work arrived or stop was requested.
     work: Condvar,
     stats: StatsCells,
+    /// Latency sinks (drain/fsync/ack histograms); recording is
+    /// lock-free, so the writer thread feeds them mid-drain at no risk.
+    obs: Arc<Obs>,
 }
 
 /// Handle to the commit pipeline. Dropping (or [`GroupCommit::stop`])
@@ -191,6 +198,13 @@ impl GroupCommit {
     /// never acknowledge a commit, so that must surface as an error at
     /// startup, not a panic.
     pub fn spawn(wal: Arc<Wal>, cfg: GroupCommitConfig) -> Result<GroupCommit> {
+        Self::spawn_obs(wal, cfg, Arc::new(Obs::new()))
+    }
+
+    /// [`GroupCommit::spawn`] recording drain/fsync/ack latencies into a
+    /// caller-owned [`Obs`] — the engine passes its own so pipeline
+    /// latency shows up in `SHOW STATS`.
+    pub fn spawn_obs(wal: Arc<Wal>, cfg: GroupCommitConfig, obs: Arc<Obs>) -> Result<GroupCommit> {
         let shared = Arc::new(Shared {
             queue: Mutex::ranked(
                 500,
@@ -201,6 +215,7 @@ impl GroupCommit {
             ),
             work: Condvar::new(),
             stats: StatsCells::default(),
+            obs,
         });
         let thread_wal = wal.clone();
         let thread_shared = shared.clone();
@@ -312,6 +327,7 @@ fn writer_loop(wal: Arc<Wal>, shared: Arc<Shared>, cfg: GroupCommitConfig) {
             q.pending.drain(..take).collect()
         };
 
+        let drain_started = Instant::now();
         let mut first_lsns = Vec::with_capacity(drain.len());
         let mut appended = 0u64;
         let mut failure: Option<String> = None;
@@ -328,8 +344,14 @@ fn writer_loop(wal: Arc<Wal>, shared: Arc<Shared>, cfg: GroupCommitConfig) {
             }
         }
         if failure.is_none() {
+            let fsync_started = Instant::now();
             if let Err(e) = wal.sync() {
                 failure = Some(e.to_string());
+            } else {
+                shared
+                    .obs
+                    .wal_fsync
+                    .record_duration(fsync_started.elapsed());
             }
         }
 
@@ -341,8 +363,18 @@ fn writer_loop(wal: Arc<Wal>, shared: Arc<Shared>, cfg: GroupCommitConfig) {
                 s.records.fetch_add(appended, Ordering::Relaxed);
                 s.max_batch.fetch_max(drain.len() as u64, Ordering::Relaxed);
                 for ((_, ticket), lsn) in drain.iter().zip(first_lsns) {
+                    // Ack latency is stamped by the completer: the
+                    // committer's wake-up adds only its condvar signal.
+                    shared
+                        .obs
+                        .commit_ack
+                        .record_duration(ticket.submitted.elapsed());
                     ticket.complete(lsn);
                 }
+                shared
+                    .obs
+                    .wal_drain
+                    .record_duration(drain_started.elapsed());
             }
             Some(msg) => {
                 // Error broadcast: every ticket in the failed drain gets
@@ -471,6 +503,26 @@ mod tests {
             "stop must interrupt the linger wait"
         );
         assert_eq!(wal.iterate().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn drain_fsync_and_ack_latencies_are_recorded() {
+        let wal = Arc::new(Wal::temp("gc6").unwrap());
+        let obs = Arc::new(Obs::new());
+        let gc = GroupCommit::spawn_obs(wal, GroupCommitConfig::default(), obs.clone()).unwrap();
+        gc.commit(batch(0)).unwrap();
+        gc.commit(batch(1)).unwrap();
+        let stats = gc.stop();
+        let drain = obs.wal_drain.snapshot();
+        let fsync = obs.wal_fsync.snapshot();
+        let ack = obs.commit_ack.snapshot();
+        assert_eq!(drain.count, stats.batches, "one drain sample per batch");
+        assert_eq!(fsync.count, stats.batches, "one fsync sample per batch");
+        assert_eq!(ack.count, stats.commits, "one ack sample per commit");
+        // A drain contains its fsync, an ack spans at least its drain's
+        // append+fsync work — the p100s must order accordingly.
+        assert!(drain.max_micros >= fsync.max_micros);
+        assert!(ack.sum_micros >= fsync.sum_micros / stats.batches.max(1));
     }
 
     #[test]
