@@ -15,39 +15,66 @@
 //! with concurrency. On a single-core CI host the absolute numbers
 //! flatten; the structural claim is covered by
 //! `tests/group_commit.rs` regardless.
+//!
+//! Two further groups cover the sharded-WAL claims of the parallel
+//! commit backbone:
+//!
+//! * `wal_shard_scaling/shards/{n}` — an async-windowed commit burst
+//!   (`Db::enqueue_records` + `CommitHandle`, the server's pipelined
+//!   path) against n ∈ {1, 2, 4, 8} WAL shards (independent drain
+//!   pipelines behind one LSN allocator). CI gates 4-shard throughput
+//!   against 1-shard on multi-core runners; a single-core host
+//!   serializes the drain threads and cannot exhibit the parallelism.
+//! * `wal_recovery/shards/{n}` — crash + `recover_with_schemas` wall
+//!   time over the same committed workload at 1 vs 4 shards. The k-way
+//!   LSN merge must not make recovery pay for the parallelism; CI gates
+//!   the ratio.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use instant_common::{DataType, MockClock, Value};
 use instant_core::schema::{Column, TableSchema};
 use instant_core::{Db, DbConfig, GroupCommitConfig};
 
 const PER_THREAD: i64 = 200;
 
-fn open_db(group: Option<GroupCommitConfig>) -> Arc<Db> {
-    let clock = MockClock::new();
-    let db = Arc::new(
-        Db::open(
-            DbConfig {
-                group_commit: group,
-                ..DbConfig::default()
-            },
-            clock.shared(),
-        )
-        .unwrap(),
-    );
-    db.create_table(
-        TableSchema::new(
-            "events",
-            vec![
-                Column::stable("id", DataType::Int),
-                Column::stable("note", DataType::Str),
-            ],
-        )
-        .unwrap(),
+fn schema() -> TableSchema {
+    TableSchema::new(
+        "events",
+        vec![
+            Column::stable("id", DataType::Int),
+            Column::stable("note", DataType::Str),
+        ],
     )
+    .unwrap()
+}
+
+fn open_db(group: Option<GroupCommitConfig>) -> Arc<Db> {
+    let cfg = match group {
+        Some(gc) => DbConfig::builder().group_commit(gc),
+        None => DbConfig::builder().no_group_commit(),
+    }
+    .build()
     .unwrap();
+    open_db_with(cfg)
+}
+
+/// Ephemeral engine with the pipeline on and `shards` WAL shards.
+fn open_db_sharded(shards: usize) -> Arc<Db> {
+    let cfg = DbConfig::builder()
+        .wal_shards(shards)
+        .group_commit(GroupCommitConfig::default())
+        .build()
+        .unwrap();
+    open_db_with(cfg)
+}
+
+fn open_db_with(cfg: DbConfig) -> Arc<Db> {
+    let clock = MockClock::new();
+    let db = Arc::new(Db::open(cfg, clock.shared()).unwrap());
+    db.create_table(schema()).unwrap();
     db
 }
 
@@ -73,14 +100,19 @@ fn append_stats(db: &Db, prefix: &str) {
 }
 
 fn run_committers(db: &Arc<Db>, threads: i64) {
+    run_committers_payload(db, threads, "payload".len());
+}
+
+fn run_committers_payload(db: &Arc<Db>, threads: i64, payload_bytes: usize) {
     std::thread::scope(|s| {
         for t in 0..threads {
             let db = db.clone();
             s.spawn(move || {
+                let note = "p".repeat(payload_bytes);
                 for i in 0..PER_THREAD {
                     db.insert(
                         "events",
-                        &[Value::Int(t * PER_THREAD + i), Value::Str("payload".into())],
+                        &[Value::Int(t * PER_THREAD + i), Value::Str(note.clone())],
                     )
                     .unwrap();
                 }
@@ -125,5 +157,138 @@ fn bench_commit_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_commit_throughput);
+/// Async-epoch committers with a bounded in-flight window, driven
+/// through [`Db::enqueue_records`]/[`CommitHandle`] — the server's
+/// pipelined path. A blocking committer can only ever have one commit
+/// in flight, so splitting it over K shards just dilutes every epoch by
+/// K (the fsyncs multiply and nothing is gained); a windowed submitter
+/// keeps every shard's epoch saturated, which is the workload the
+/// parallel backbone exists for.
+fn run_windowed_committers(db: &Arc<Db>, threads: u64, window: usize, commits: u64) {
+    use std::collections::VecDeque;
+    let at = db.now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let db = db.clone();
+            s.spawn(move || {
+                let mut inflight: VecDeque<instant_core::CommitHandle> = VecDeque::new();
+                for i in 0..commits {
+                    // Distinct tx ids stripe the commits over the shards.
+                    let tx = instant_common::TxId(t * commits + i);
+                    let records = vec![
+                        instant_wal::LogRecord::Begin { tx, at },
+                        instant_wal::LogRecord::Commit { tx, at },
+                    ];
+                    inflight.push_back(db.enqueue_records(records).unwrap());
+                    if inflight.len() >= window {
+                        inflight.pop_front().unwrap().wait().unwrap();
+                    }
+                }
+                for h in inflight {
+                    h.wait().unwrap();
+                }
+            });
+        }
+    });
+}
+
+/// Throughput of the same async-windowed commit burst against 1/2/4/8
+/// WAL shards. Every configuration commits through the pipeline; only
+/// the number of independent drain pipelines (and so the number of
+/// concurrently in-flight fsyncs) varies. The per-shard drain/fsync
+/// histograms land in the NDJSON artifact under `wal_shard_stats/{n}/…`
+/// for the CI percentile gate.
+fn bench_shard_scaling(c: &mut Criterion) {
+    const THREADS: u64 = 2;
+    const WINDOW: usize = 128;
+    const COMMITS: u64 = 2000;
+    let mut g = c.benchmark_group("wal_shard_scaling");
+    g.sample_size(10);
+    for &shards in &[1usize, 2, 4, 8] {
+        g.throughput(Throughput::Elements(THREADS * COMMITS));
+        let last = std::cell::RefCell::new(None);
+        g.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &n| {
+            b.iter(|| {
+                let db = open_db_sharded(n);
+                run_windowed_committers(&db, THREADS, WINDOW, COMMITS);
+                *last.borrow_mut() = Some(db);
+            });
+        });
+        if let Some(db) = last.into_inner() {
+            append_stats(&db, &format!("wal_shard_stats/{shards}"));
+        }
+    }
+    g.finish();
+}
+
+/// Crash-recovery wall time over an identical committed workload at 1 vs
+/// 4 WAL shards. Setup (untimed) populates a fresh on-disk engine with a
+/// concurrent burst and crashes it; the timed routine is
+/// `Db::recover_with_schemas` alone — open every shard, k-way merge by
+/// LSN, replay. The merge is O(total records · log shards); CI gates
+/// that the 4-shard recovery stays within a small ratio of 1-shard.
+fn bench_recovery(c: &mut Criterion) {
+    const THREADS: i64 = 4;
+    const ROWS: i64 = THREADS * PER_THREAD;
+    let mut g = c.benchmark_group("wal_recovery");
+    g.sample_size(5);
+    for &shards in &[1usize, 4] {
+        let dir = std::env::temp_dir().join(format!(
+            "instantdb-bench-recovery-{}-{shards}",
+            std::process::id()
+        ));
+        g.throughput(Throughput::Elements(ROWS as u64));
+        g.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &n| {
+            b.iter_batched(
+                || {
+                    cleanup(&dir);
+                    let cfg = DbConfig::builder()
+                        .wal_shards(n)
+                        .group_commit(GroupCommitConfig::default())
+                        .path(dir.clone())
+                        .build()
+                        .unwrap();
+                    let clock = MockClock::new();
+                    {
+                        let db = Arc::new(Db::open(cfg.clone(), clock.shared()).unwrap());
+                        db.create_table(schema()).unwrap();
+                        run_committers(&db, THREADS);
+                        // Drop without checkpoint: the entire workload
+                        // replays from the sharded log.
+                    }
+                    (cfg, clock)
+                },
+                |(cfg, clock)| {
+                    let db = Db::recover_with_schemas(cfg, clock.shared(), vec![schema()]).unwrap();
+                    assert_eq!(
+                        db.catalog().get("events").unwrap().live_count().unwrap(),
+                        ROWS as usize
+                    );
+                    db
+                },
+                BatchSize::PerIteration,
+            );
+        });
+        cleanup(&dir);
+    }
+    g.finish();
+}
+
+fn cleanup(prefix: &std::path::Path) {
+    for ext in ["idb", "wal", "meta"] {
+        let mut s = prefix.as_os_str().to_os_string();
+        s.push(".");
+        s.push(ext);
+        let p = PathBuf::from(s);
+        let _ = std::fs::remove_file(&p);
+        let _ = std::fs::remove_dir_all(&p); // the WAL is a segment dir
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_commit_throughput,
+    bench_shard_scaling,
+    bench_recovery
+);
 criterion_main!(benches);

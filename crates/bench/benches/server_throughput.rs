@@ -12,6 +12,11 @@
 //! records the three lines in `BENCH_server.json` and asserts exactly
 //! that shape.
 //!
+//! `server_shard_throughput/shards/{n}` reruns the 8-client burst with
+//! the engine's WAL split over n shards — the must-not-regress
+//! guardrail for the parallel commit backbone on the classic blocking
+//! serving path (see `bench_shard_throughput`).
+//!
 //! The per-commit-fsync engine baseline (no network) lives in
 //! `benches/group_commit.rs`; comparing the two artifacts bounds the
 //! serving overhead.
@@ -29,8 +34,21 @@ use instant_server::{Client, Server, ServerConfig};
 const PER_CLIENT: i64 = 50;
 
 fn start_server(workers: usize) -> Server {
+    start_server_with(workers, DbConfig::default())
+}
+
+/// Serve an engine with `shards` WAL shards (independent drain
+/// pipelines behind one LSN allocator).
+fn start_server_sharded(workers: usize, shards: usize) -> Server {
+    start_server_with(
+        workers,
+        DbConfig::builder().wal_shards(shards).build().unwrap(),
+    )
+}
+
+fn start_server_with(workers: usize, cfg: DbConfig) -> Server {
     let clock = MockClock::new();
-    let db = Arc::new(Db::open(DbConfig::default(), clock.shared()).unwrap());
+    let db = Arc::new(Db::open(cfg, clock.shared()).unwrap());
     Server::start(
         db,
         HierarchyRegistry::new(),
@@ -63,6 +81,25 @@ fn append_stats(db: &Arc<Db>, prefix: &str) {
     }
 }
 
+/// One closed-loop burst: each of the first `clients` connections fires
+/// `PER_CLIENT` auto-commit inserts; every insert blocks on a real
+/// durability point.
+fn run_clients(pool: &[Mutex<Client>], clients: usize, next_id: &AtomicI64) {
+    std::thread::scope(|s| {
+        for client in pool.iter().take(clients) {
+            s.spawn(move || {
+                let mut client = client.lock().unwrap();
+                for _ in 0..PER_CLIENT {
+                    let id = next_id.fetch_add(1, Ordering::Relaxed);
+                    client
+                        .query(&format!("INSERT INTO events VALUES ({id}, 'payload')"))
+                        .unwrap();
+                }
+            });
+        }
+    });
+}
+
 fn bench_server_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("server_throughput");
     g.sample_size(10);
@@ -86,24 +123,7 @@ fn bench_server_throughput(c: &mut Criterion) {
             BenchmarkId::new("clients", clients),
             &clients,
             |b, &clients| {
-                b.iter(|| {
-                    std::thread::scope(|s| {
-                        for client in pool.iter().take(clients) {
-                            let next_id = &next_id;
-                            s.spawn(move || {
-                                let mut client = client.lock().unwrap();
-                                for _ in 0..PER_CLIENT {
-                                    let id = next_id.fetch_add(1, Ordering::Relaxed);
-                                    client
-                                        .query(&format!(
-                                            "INSERT INTO events VALUES ({id}, 'payload')"
-                                        ))
-                                        .unwrap();
-                                }
-                            });
-                        }
-                    });
-                });
+                b.iter(|| run_clients(&pool, clients, &next_id));
             },
         );
         drop(pool);
@@ -118,5 +138,41 @@ fn bench_server_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_server_throughput);
+/// The same 8-client closed-loop burst served from an engine with 1 vs
+/// 4 WAL shards. Blocking auto-commit clients are the *hardest* shape
+/// for sharding — each client has one commit in flight, so splitting C
+/// committers over K shards thins every epoch to ~C/K — which is
+/// exactly why it is the guardrail: multi-shard must not regress the
+/// classic serving path, and on multi-core runners the parallel fsync
+/// streams should still come out ahead. The pipelined win lives in
+/// `group_commit.rs::wal_shard_scaling` (windowed `CommitHandle`
+/// committers).
+fn bench_shard_throughput(c: &mut Criterion) {
+    const CLIENTS: usize = 8;
+    let mut g = c.benchmark_group("server_shard_throughput");
+    g.sample_size(10);
+    for &shards in &[1usize, 4] {
+        let server = start_server_sharded(CLIENTS, shards);
+        let addr = server.local_addr().to_string();
+        let mut admin = Client::connect(&addr).unwrap();
+        admin
+            .query("CREATE TABLE events (id INT, note TEXT)")
+            .unwrap();
+        let pool: Vec<Mutex<Client>> = (0..CLIENTS)
+            .map(|_| Mutex::new(Client::connect(&addr).unwrap()))
+            .collect();
+        let next_id = AtomicI64::new(0);
+        g.throughput(Throughput::Elements((CLIENTS as i64 * PER_CLIENT) as u64));
+        g.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, _| {
+            b.iter(|| run_clients(&pool, CLIENTS, &next_id));
+        });
+        drop(pool);
+        admin.close().unwrap();
+        append_stats(server.db(), &format!("server_shard_stats/{shards}"));
+        server.shutdown().unwrap();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_server_throughput, bench_shard_throughput);
 criterion_main!(benches);

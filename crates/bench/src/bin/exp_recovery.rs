@@ -103,7 +103,7 @@ fn run(domain: &LocationDomain, n: usize) -> (u64, usize, usize, usize, u128) {
         }
         clock.advance(Duration::hours(1));
         db.pump_degradation().unwrap(); // first batch past 1h → city
-        log_bytes = instant_wal::writer::log_size(db.wal().unwrap()).unwrap_or(0);
+        log_bytes = db.wal().unwrap().log_size().unwrap_or(0);
         drop(db); // crash
     }
 

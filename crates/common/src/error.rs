@@ -35,6 +35,9 @@ pub enum Error {
     /// The server shed this request under admission control (connection
     /// limit reached or the worker queue is full). Retry after backoff.
     ServerBusy(String),
+    /// Invalid engine/server configuration, rejected before it takes
+    /// effect (e.g. `DbConfig::builder().build()` validation).
+    Config(String),
     /// Feature intentionally outside the reproduced model.
     Unsupported(String),
 }
@@ -53,6 +56,7 @@ impl fmt::Display for Error {
             Error::Accuracy(m) => write!(f, "accuracy level error: {m}"),
             Error::Capacity(m) => write!(f, "capacity exceeded: {m}"),
             Error::ServerBusy(m) => write!(f, "server busy: {m}"),
+            Error::Config(m) => write!(f, "invalid configuration: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
         }
     }
@@ -94,6 +98,7 @@ impl Error {
             Error::Accuracy(_) => "accuracy",
             Error::Capacity(_) => "capacity",
             Error::ServerBusy(_) => "server_busy",
+            Error::Config(_) => "config",
             Error::Unsupported(_) => "unsupported",
         }
     }
@@ -117,6 +122,7 @@ impl Error {
             "accuracy" => Error::Accuracy(m),
             "capacity" => Error::Capacity(m),
             "server_busy" => Error::ServerBusy(m),
+            "config" => Error::Config(m),
             _ => Error::Unsupported(m),
         }
     }
@@ -169,6 +175,7 @@ mod tests {
             Error::Accuracy("x".into()),
             Error::Capacity("x".into()),
             Error::ServerBusy("x".into()),
+            Error::Config("x".into()),
             Error::Unsupported("x".into()),
         ];
         for e in all {

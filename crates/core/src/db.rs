@@ -30,162 +30,24 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use instant_common::{
-    ColumnId, Duration, Error, Result, SharedClock, TableId, Timestamp, TupleId, Value,
-};
+use instant_common::{ColumnId, Error, Result, SharedClock, TableId, Timestamp, TupleId, Value};
 use instant_obs::{Obs, Stage};
-use instant_storage::{BufferPool, DiskManager, SecurePolicy};
+use instant_storage::{BufferPool, DiskManager};
 use instant_tx::{LockMode, Resource, TxHandle, TxManager};
-use instant_wal::group::{GroupCommit, GroupCommitConfig, GroupCommitStats};
+use instant_wal::group::{CommitTicket, GroupCommitSet, GroupCommitStats};
 use instant_wal::record::{LogRecord, Lsn, Payload};
 use instant_wal::recovery::{self, Op};
-use instant_wal::{KeyStore, Wal};
+use instant_wal::{KeyStore, WalSet};
 
 use crate::catalog::{Catalog, Table};
 use crate::scheduler::{DegradationScheduler, PendingTransition};
 use crate::schema::TableSchema;
 use crate::tuple::{encode_stored_raw, StoredTuple};
 
-/// How row images are logged.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum WalMode {
-    /// No logging (volatile store; fastest, used as a bench baseline).
-    Off,
-    /// Classical plaintext WAL — the forensic-leaky baseline of E8.
-    Plain,
-    /// Degradation-aware WAL: images sealed under time-windowed keys.
-    Sealed,
-}
-
-/// Engine configuration.
-#[derive(Debug, Clone)]
-pub struct DbConfig {
-    /// Buffer pool frames.
-    pub buffer_frames: usize,
-    /// Buffer pool shards (rounded up to a power of two; 0 = automatic).
-    /// More shards reduce contention between degradation batches and
-    /// concurrent queries touching different pages.
-    pub pool_shards: usize,
-    /// Heap deletion policy (secure overwrite vs classical naive).
-    pub secure: SecurePolicy,
-    pub wal_mode: WalMode,
-    /// Key-shredding window length (Sealed mode).
-    pub key_window: Duration,
-    /// Max transitions per degradation batch (0 = unbounded).
-    pub batch_max: usize,
-    /// Group-commit pipeline: `Some` routes every commit through a
-    /// dedicated log-writer thread that batches concurrent committers
-    /// behind one fsync per drain; `None` makes each commit pay its own
-    /// append + fsync inline (the classical baseline).
-    pub group_commit: Option<GroupCommitConfig>,
-    /// Background checkpoint interval for
-    /// [`Checkpointer::spawn_from_config`](crate::daemon::Checkpointer);
-    /// `None` leaves checkpointing caller-driven.
-    pub checkpoint_every: Option<std::time::Duration>,
-    /// WAL segment capacity in bytes (clamped to the segment module's
-    /// minimum). Smaller segments mean finer-grained truncation; the
-    /// checkpointer frees whole dead segments, never rewriting retained
-    /// data.
-    pub wal_segment_bytes: u64,
-    /// Cap on live WAL segments: when a commit observes more than this
-    /// many segment files on disk it forces an early checkpoint (which
-    /// truncates every wholly-dead segment), so the log's footprint stays
-    /// bounded even if the periodic
-    /// [`Checkpointer`](crate::daemon::Checkpointer) is off or slow.
-    /// Enforced *after* the commit is acknowledged — admission never
-    /// stalls behind the checkpoint of a competing committer (the check
-    /// is skipped while another checkpoint is already running). `None`
-    /// (default) leaves retention to explicit/background checkpoints.
-    pub wal_retention_segments: Option<u64>,
-    /// Data directory prefix; `None` = ephemeral temp files.
-    pub path: Option<PathBuf>,
-    /// Key-derivation seed.
-    pub key_seed: u64,
-    /// Slow-query threshold: statements slower than this land in the
-    /// observability plane's bounded slow-query ring (statement kind,
-    /// declared purpose, elapsed — never the SQL text). `None` disables
-    /// the ring; the served front-end arms its own default when the
-    /// engine config leaves this unset (see `ServerConfig`).
-    pub slow_query: Option<std::time::Duration>,
-}
-
-impl Default for DbConfig {
-    /// The production defaults, overridable per-process by the
-    /// `INSTANTDB_TEST_*` environment knobs (see [`test_profile`]). CI's
-    /// config-matrix lane uses those knobs to run the whole suite under
-    /// degraded configurations (inline commits, one pool shard, an
-    /// aggressive checkpointer, tiny WAL segments) so non-default paths
-    /// stay exercised. Tests that *assert* a specific configuration set
-    /// the field explicitly instead of relying on this default.
-    fn default() -> Self {
-        let profile = test_profile();
-        DbConfig {
-            buffer_frames: 1024,
-            pool_shards: profile.pool_shards.unwrap_or(0),
-            secure: SecurePolicy::Overwrite,
-            wal_mode: WalMode::Sealed,
-            key_window: Duration::hours(1),
-            batch_max: 1024,
-            group_commit: if profile.group_commit_off {
-                None
-            } else {
-                Some(GroupCommitConfig::default())
-            },
-            checkpoint_every: profile
-                .checkpoint_every_ms
-                .map(std::time::Duration::from_millis),
-            wal_segment_bytes: profile
-                .wal_segment_bytes
-                .unwrap_or(instant_wal::segment::DEFAULT_SEGMENT_BYTES),
-            wal_retention_segments: None,
-            path: None,
-            key_seed: 0x1DB0_CAFE,
-            slow_query: None,
-        }
-    }
-}
-
-/// Environment-driven overrides applied to [`DbConfig::default`] — the
-/// test-harness knob behind CI's degraded-config matrix:
-///
-/// * `INSTANTDB_TEST_GROUP_COMMIT=off|0|false` — inline per-commit fsync
-///   instead of the pipeline;
-/// * `INSTANTDB_TEST_POOL_SHARDS=<n>` — pin the buffer-pool shard count;
-/// * `INSTANTDB_TEST_CHECKPOINT_EVERY_MS=<n>` — arm background
-///   checkpointing wherever a config is spawned from defaults;
-/// * `INSTANTDB_TEST_WAL_SEGMENT_BYTES=<n>` — WAL segment capacity.
-///
-/// The knobs are honored **only in debug builds** (`debug_assertions`):
-/// a release binary's defaults stay pure and deterministic, so a stray
-/// environment variable can never silently weaken production durability
-/// configuration. CI's matrix lane runs the debug test suite.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct TestProfile {
-    pub group_commit_off: bool,
-    pub pool_shards: Option<usize>,
-    pub checkpoint_every_ms: Option<u64>,
-    pub wal_segment_bytes: Option<u64>,
-}
-
-/// Read the `INSTANTDB_TEST_*` knobs from the environment (debug builds
-/// only; all-defaults in release).
-pub fn test_profile() -> TestProfile {
-    if !cfg!(debug_assertions) {
-        return TestProfile::default();
-    }
-    fn parse<T: std::str::FromStr>(name: &str) -> Option<T> {
-        std::env::var(name).ok()?.trim().parse().ok()
-    }
-    let group_commit_off = std::env::var("INSTANTDB_TEST_GROUP_COMMIT")
-        .map(|v| matches!(v.trim(), "off" | "0" | "false" | "none"))
-        .unwrap_or(false);
-    TestProfile {
-        group_commit_off,
-        pool_shards: parse("INSTANTDB_TEST_POOL_SHARDS"),
-        checkpoint_every_ms: parse("INSTANTDB_TEST_CHECKPOINT_EVERY_MS"),
-        wal_segment_bytes: parse("INSTANTDB_TEST_WAL_SEGMENT_BYTES"),
-    }
-}
+// Configuration moved to its own module; the re-export keeps the
+// historical `crate::db::DbConfig` paths (and downstream `instant_core::
+// db::…` imports) compiling.
+pub use crate::config::{test_profile, DbConfig, DbConfigBuilder, TestProfile, WalMode};
 
 /// Engine statistics (monotonic counters).
 #[derive(Debug, Default)]
@@ -220,10 +82,11 @@ pub struct Db {
     clock: SharedClock,
     pool: Arc<BufferPool>,
     catalog: Catalog,
-    // `group` is declared before `wal` so the pipeline's writer thread is
-    // joined (and its last fsync completed) before the log handle drops.
-    group: Option<GroupCommit>,
-    wal: Option<Arc<Wal>>,
+    // `group` is declared before `wal` so every per-shard pipeline's
+    // writer/fsync thread pair is joined (and its last fsync completed)
+    // before the log handles drop.
+    group: Option<GroupCommitSet>,
+    wal: Option<Arc<WalSet>>,
     keys: KeyStore,
     txs: TxManager,
     sched: DegradationScheduler,
@@ -268,19 +131,21 @@ impl Db {
         let seg_cfg = instant_wal::segment::SegmentConfig {
             segment_bytes: cfg.wal_segment_bytes,
         };
+        // The shard count is resolved here (auto → parallelism-derived);
+        // `WalSet::open_with` may still widen it to match a directory
+        // that already holds more shards.
+        let shards = cfg.effective_wal_shards();
         let wal = match cfg.wal_mode {
             WalMode::Off => None,
             _ => Some(Arc::new(match &cfg.path {
-                Some(p) => Wal::open_with(with_ext(p, "wal"), seg_cfg)?,
-                None => Wal::temp_with("db", seg_cfg)?,
+                Some(p) => WalSet::open_with(with_ext(p, "wal"), shards, seg_cfg)?,
+                None => WalSet::temp_with("db", shards, seg_cfg)?,
             })),
         };
         let obs = Arc::new(Obs::new());
         obs.set_slow_query_threshold(cfg.slow_query);
         let group = match (&wal, &cfg.group_commit) {
-            (Some(w), Some(gc)) => {
-                Some(GroupCommit::spawn_obs(w.clone(), gc.clone(), obs.clone())?)
-            }
+            (Some(w), Some(gc)) => Some(GroupCommitSet::spawn_obs(w, gc.clone(), obs.clone())?),
             _ => None,
         };
         let keys = KeyStore::new(cfg.key_window, cfg.key_seed);
@@ -335,12 +200,20 @@ impl Db {
     pub fn tx_manager(&self) -> &TxManager {
         &self.txs
     }
-    pub fn wal(&self) -> Option<&Wal> {
+    /// The sharded log (all shards behind one LSN allocator); `None` in
+    /// [`WalMode::Off`].
+    pub fn wal(&self) -> Option<&WalSet> {
         self.wal.as_deref()
     }
-    /// Group-commit pipeline counters; `None` when the pipeline is off.
+    /// Group-commit pipeline counters aggregated across every shard
+    /// pipeline; `None` when the pipeline is off.
     pub fn group_commit_stats(&self) -> Option<GroupCommitStats> {
         self.group.as_ref().map(|g| g.stats())
+    }
+    /// Per-shard pipeline counters, indexed by WAL shard; `None` when
+    /// the pipeline is off.
+    pub fn group_commit_stats_per_shard(&self) -> Option<Vec<GroupCommitStats>> {
+        self.group.as_ref().map(|g| g.pipe_stats())
     }
     pub fn keystore(&self) -> &KeyStore {
         &self.keys
@@ -361,55 +234,60 @@ impl Db {
     ///
     /// Acquires the shared side of `ckpt_gate` itself — callers whose
     /// page mutations must be covered by the same gate hold (the user
-    /// ops) use [`Db::enqueue_records`] under their own guard instead.
+    /// ops) use [`Db::enqueue_records_gated`] under their own guard
+    /// instead.
     fn commit_records(&self, records: Vec<LogRecord>) -> Result<Option<Lsn>> {
-        let pending = {
-            let _shared = self.ckpt_gate.read();
-            self.enqueue_records(records)?
-        };
-        pending.finish()
+        self.enqueue_records(records)?.wait()
     }
 
-    /// Hand a record batch to the durability path. The caller must hold
-    /// `ckpt_gate` (shared side). With the pipeline on this only
-    /// *enqueues* — the fsync is awaited via [`PendingCommit::finish`]
-    /// outside the gate, keeping committers parallel. Inline, it appends
-    /// and fsyncs right here: releasing the gate between those two steps
-    /// would let a checkpoint truncate the still-unsynced records and
-    /// then acknowledge them anyway.
-    fn enqueue_records(&self, records: Vec<LogRecord>) -> Result<PendingCommit> {
-        if self.wal.is_none() || records.is_empty() {
-            return Ok(PendingCommit::Off);
+    /// Hand a record batch to the durability path and return a
+    /// [`CommitHandle`] — the single commit entry point regardless of
+    /// whether the pipeline is on. Callers pick how to redeem it:
+    /// [`CommitHandle::wait`] blocks to durability,
+    /// [`CommitHandle::try_poll`] checks without blocking (the async
+    /// server path). No caller needs to branch on
+    /// [`DbConfig::group_commit`].
+    ///
+    /// Routing: one batch lands on one WAL shard (keyed by the batch's
+    /// transaction id), so a transaction's records stay contiguous in
+    /// its shard's byte stream while unrelated transactions drain and
+    /// fsync on other shards in parallel.
+    pub fn enqueue_records(&self, records: Vec<LogRecord>) -> Result<CommitHandle> {
+        let _shared = self.ckpt_gate.read();
+        self.enqueue_records_gated(records)
+    }
+
+    /// [`Db::enqueue_records`] for callers already holding `ckpt_gate`
+    /// (either side). With the pipeline on this only *enqueues* — the
+    /// fsync is awaited via [`CommitHandle::wait`] outside the gate,
+    /// keeping committers parallel. Inline, it appends and fsyncs right
+    /// here: releasing the gate between those two steps would let a
+    /// checkpoint truncate the still-unsynced records and then
+    /// acknowledge them anyway.
+    fn enqueue_records_gated(&self, records: Vec<LogRecord>) -> Result<CommitHandle> {
+        let Some(wal) = &self.wal else {
+            return Ok(CommitHandle(HandleState::Off));
+        };
+        if records.is_empty() {
+            return Ok(CommitHandle(HandleState::Off));
         }
         // Span-gated: with the pipeline this measures the enqueue alone;
         // inline it covers the whole append + fsync.
         let _submit = self.obs.span(Stage::CommitSubmit);
+        let shard = wal.shard_for_batch(&records);
         match &self.group {
-            Some(g) => Ok(PendingCommit::Ticket(g.submit(records)?)),
+            Some(g) => Ok(CommitHandle(HandleState::Ticket(g.submit(shard, records)?))),
             None => {
                 // Inline path: the append + fsync below *is* the commit's
                 // durability wait, so time it as the ack latency (the
                 // pipeline path records acks at ticket completion).
                 let started = std::time::Instant::now();
-                Ok(match self.append_sync(&records)? {
-                    Some(lsn) => {
-                        self.obs.commit_ack.record_duration(started.elapsed());
-                        PendingCommit::Done(lsn)
-                    }
-                    None => PendingCommit::Off,
-                })
+                let lsn = wal.append_batch(shard, &records)?;
+                wal.sync(shard)?;
+                self.obs.commit_ack.record_duration(started.elapsed());
+                Ok(CommitHandle(HandleState::Done(lsn)))
             }
         }
-    }
-
-    /// Inline append + fsync. Caller must hold `ckpt_gate` (either side).
-    fn append_sync(&self, records: &[LogRecord]) -> Result<Option<Lsn>> {
-        let Some(wal) = &self.wal else {
-            return Ok(None);
-        };
-        let first = wal.append_batch(records)?;
-        wal.sync()?;
-        Ok(Some(first))
     }
 
     fn payload(&self, bytes: &[u8], now: Timestamp) -> Result<Payload> {
@@ -442,7 +320,7 @@ impl Db {
             // table never logs the accurate form at all.
             let stored = table.get(tid)?;
             let bytes = encode_stored_raw(stored.insert_ts, &stored.stages, &stored.row);
-            let pending = self.enqueue_records(vec![
+            let pending = self.enqueue_records_gated(vec![
                 LogRecord::Begin {
                     tx: tx.id(),
                     at: now,
@@ -461,7 +339,7 @@ impl Db {
             ])?;
             (tid, stored, pending)
         };
-        pending.finish()?;
+        pending.wait()?;
         tx.commit()?;
         self.arm_transitions(&table, tid, &stored);
         self.stats.inserts.fetch_add(1, Ordering::Relaxed);
@@ -505,7 +383,7 @@ impl Db {
         let pending = {
             let _shared = self.ckpt_gate.read();
             table.expunge_physical(tid)?;
-            self.enqueue_records(vec![
+            self.enqueue_records_gated(vec![
                 LogRecord::Begin {
                     tx: tx.id(),
                     at: now,
@@ -522,7 +400,7 @@ impl Db {
                 },
             ])?
         };
-        pending.finish()?;
+        pending.wait()?;
         tx.commit()?;
         self.stats.user_deletes.fetch_add(1, Ordering::Relaxed);
         self.enforce_wal_retention();
@@ -564,7 +442,7 @@ impl Db {
             tuple.row[cid.0 as usize] = new_value.clone();
             table.rewrite_physical(tid, &tuple, &[], &[(cid, old_value, new_value)])?;
             let bytes = encode_stored_raw(tuple.insert_ts, &tuple.stages, &tuple.row);
-            self.enqueue_records(vec![
+            self.enqueue_records_gated(vec![
                 LogRecord::Begin {
                     tx: tx.id(),
                     at: now,
@@ -582,7 +460,7 @@ impl Db {
                 },
             ])?
         };
-        pending.finish()?;
+        pending.wait()?;
         tx.commit()?;
         self.stats.updates.fetch_add(1, Ordering::Relaxed);
         self.enforce_wal_retention();
@@ -824,27 +702,30 @@ impl Db {
             let now = self.now();
             // lint:allow(L102, the checkpoint flush must run under the gate's exclusive side so no user op mutates pages mid-flush)
             self.pool.flush_all()?;
-            // Rotate so the Checkpoint record starts a fresh segment:
-            // everything before it then lives in wholly-dead segments the
-            // truncation below can delete outright. (Pipeline batches
-            // already enqueued may still drain after the rotate and land
-            // ahead of the Checkpoint record in the new segment — their
-            // page writes were covered by this flush, and replay starts
-            // after the checkpoint LSN, so retaining them briefly is
-            // harmless; they die with the next checkpoint.)
+            // Rotate every shard so the Checkpoint record starts a fresh
+            // segment on its shard and everything before it lives in
+            // wholly-dead segments the truncation below can delete
+            // outright. (Pipeline batches already enqueued may still
+            // drain after the rotate and land ahead of the Checkpoint
+            // record in a fresh segment — their page writes were covered
+            // by this flush, and replay starts after the checkpoint LSN,
+            // so retaining them briefly is harmless; they die with the
+            // next checkpoint.)
             if let Some(wal) = &self.wal {
-                wal.rotate()?;
+                wal.rotate_all()?;
             }
-            // The Checkpoint record rides the pipeline like any commit,
-            // so it can never land in the middle of another committer's
-            // unsynced batch. We hold the gate's exclusive side, so go to
-            // the pipeline (or the inline appender) directly rather than
-            // re-entering `commit_records`' shared side.
-            // lint:allow(L102, the checkpoint record must be appended while the gate is exclusively held so it cannot interleave with a committer's batch)
-            let ckpt_lsn = match &self.group {
-                Some(g) => Some(g.commit(vec![LogRecord::Checkpoint { at: now }])?),
-                None => self.append_sync(&[LogRecord::Checkpoint { at: now }])?,
-            };
+            // The Checkpoint record rides the same unified commit path
+            // as every other batch (shard 0 — it carries no transaction
+            // id), so it can never land in the middle of another
+            // committer's unsynced batch. We already hold the gate's
+            // exclusive side, so use the gated enqueue rather than
+            // re-entering the shared side; waiting here (still inside
+            // the gate) is required — the meta write below must record
+            // a state consistent with the durable checkpoint LSN.
+            // lint:allow(L102, the checkpoint record must be appended and made durable while the gate is exclusively held so it cannot interleave with a committer's batch)
+            let ckpt_lsn = self
+                .enqueue_records_gated(vec![LogRecord::Checkpoint { at: now }])?
+                .wait()?;
             // Shred + persist catalog meta (heap page lists + shredded
             // windows) still inside the gate: the page lists must match
             // the flush exactly — a page allocated by a commit racing in
@@ -961,7 +842,10 @@ impl Db {
         }
         // 2. Redo the committed suffix.
         if let Some(wal) = &db.wal {
-            let plan = recovery::recover(wal, &db.keys)?;
+            // The k-way merge behind `WalSet::iterate` re-serializes the
+            // per-shard streams into global LSN order, so replay sees one
+            // log exactly as it would have with a single shard.
+            let plan = recovery::recover_set(wal, &db.keys)?;
             let mut remap: HashMap<(TableId, TupleId), TupleId> = HashMap::new();
             let mut replay_written: HashSet<(TableId, TupleId)> = HashSet::new();
             for op in &plan.ops {
@@ -1083,24 +967,46 @@ enum Applied {
     Skipped,
 }
 
-/// A commit handed to the durability path under the checkpoint gate but
-/// not yet awaited — [`PendingCommit::finish`] completes it outside the
-/// gate so committers stay parallel.
-enum PendingCommit {
+/// A commit handed to the durability path but not yet awaited — the one
+/// handle [`Db::enqueue_records`] returns no matter how the engine is
+/// configured. Blocking callers redeem it with [`CommitHandle::wait`];
+/// the async server path polls [`CommitHandle::try_poll`] between other
+/// work and externalizes the commit only once its durability epoch has
+/// fsynced. Callers never branch on [`DbConfig::group_commit`].
+#[derive(Debug)]
+pub struct CommitHandle(HandleState);
+
+#[derive(Debug)]
+enum HandleState {
     /// Logging off / nothing to write.
     Off,
     /// Inline path: already appended and fsynced at this LSN.
     Done(Lsn),
-    /// Pipeline path: awaiting the drain's fsync.
-    Ticket(instant_wal::group::CommitTicket),
+    /// Pipeline path: awaiting the covering epoch's fsync.
+    Ticket(CommitTicket),
 }
 
-impl PendingCommit {
-    fn finish(self) -> Result<Option<Lsn>> {
-        match self {
-            PendingCommit::Off => Ok(None),
-            PendingCommit::Done(lsn) => Ok(Some(lsn)),
-            PendingCommit::Ticket(t) => t.wait().map(Some),
+impl CommitHandle {
+    /// Block until the batch is durable. Returns the LSN of its first
+    /// record, or `None` when logging is off / the batch was empty.
+    pub fn wait(self) -> Result<Option<Lsn>> {
+        match self.0 {
+            HandleState::Off => Ok(None),
+            HandleState::Done(lsn) => Ok(Some(lsn)),
+            HandleState::Ticket(t) => t.wait().map(Some),
+        }
+    }
+
+    /// Non-blocking durability check: `None` while the covering epoch is
+    /// still in flight, `Some(Ok(..))` once durable, `Some(Err(..))` if
+    /// the drain failed. Does not consume the handle — poll until
+    /// resolved, then discard (or [`CommitHandle::wait`] to finish
+    /// blocking).
+    pub fn try_poll(&self) -> Option<Result<Option<Lsn>>> {
+        match &self.0 {
+            HandleState::Off => Some(Ok(None)),
+            HandleState::Done(lsn) => Some(Ok(Some(*lsn))),
+            HandleState::Ticket(t) => t.try_poll().map(|r| r.map(Some)),
         }
     }
 }
@@ -1154,7 +1060,7 @@ fn parse_meta_tables(meta: &str) -> HashMap<String, (u32, Vec<u32>)> {
 mod tests {
     use super::*;
     use crate::schema::Column;
-    use instant_common::{DataType, LevelId, MockClock};
+    use instant_common::{DataType, Duration, LevelId, MockClock};
     use instant_lcp::gtree::location_tree_fig1;
     use instant_lcp::hierarchy::Hierarchy;
     use instant_lcp::AttributeLcp;
@@ -1493,6 +1399,11 @@ mod tests {
                 // Minimum-size segments rotate constantly; without the
                 // retention cap a 400-insert burst accumulates dozens of
                 // live segment files (verified by the control run below).
+                // One WAL shard: the cap counts segments summed across
+                // shards and every shard keeps one active segment, so
+                // the `cap + 1` overshoot bound is a single-shard
+                // property.
+                wal_shards: 1,
                 wal_segment_bytes: 1,
                 wal_retention_segments: Some(cap),
                 ..DbConfig::default()
@@ -1519,6 +1430,7 @@ mod tests {
         // segment population past it (i.e. the assertion above has teeth).
         let db2 = Db::open(
             DbConfig {
+                wal_shards: 1,
                 wal_segment_bytes: 1,
                 wal_retention_segments: None,
                 ..DbConfig::default()

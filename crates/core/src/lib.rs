@@ -37,6 +37,7 @@
 
 pub mod baseline;
 pub mod catalog;
+pub mod config;
 pub mod daemon;
 pub mod db;
 pub mod ext;
@@ -46,8 +47,9 @@ pub mod scheduler;
 pub mod schema;
 pub mod tuple;
 
+pub use config::{DbConfig, DbConfigBuilder, WalMode};
 pub use daemon::{CheckpointReport, Checkpointer, DegradationDaemon};
-pub use db::{Db, DbConfig, WalMode};
+pub use db::{CommitHandle, Db};
 pub use instant_wal::{GroupCommitConfig, GroupCommitStats};
 pub use query::session::{HierarchyRegistry, Session};
 pub use schema::{Column, ColumnKind, TableSchema};

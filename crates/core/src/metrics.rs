@@ -388,12 +388,14 @@ mod tests {
     #[test]
     fn wal_stats_reflect_group_commit_pipeline() {
         let clock = MockClock::new();
-        // This test asserts pipeline-specific counters, so it pins the
-        // pipeline on explicitly instead of relying on the (env-profile
-        // overridable) default.
+        // This test asserts pipeline-specific counters (and a final
+        // single-segment log), so it pins the pipeline on and the shard
+        // count to one explicitly instead of relying on the (env-profile
+        // overridable) defaults.
         let db = Db::open(
             DbConfig {
                 group_commit: Some(Default::default()),
+                wal_shards: 1,
                 ..DbConfig::default()
             },
             clock.shared(),

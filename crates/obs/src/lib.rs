@@ -33,5 +33,5 @@ pub mod registry;
 pub mod span;
 
 pub use hist::{HistogramSnapshot, LatencyHistogram};
-pub use registry::{Obs, PurposeCounters, SlowQuery, StatsSnapshot};
+pub use registry::{Obs, PurposeCounters, SlowQuery, StatsSnapshot, WalShardLane};
 pub use span::{span_depth, span_stack, SpanGuard, Stage};

@@ -53,6 +53,29 @@ pub struct SlowQuery {
 
 type ProviderFn = Box<dyn Fn() -> Vec<(String, u64)> + Send + Sync>;
 
+/// Per-shard lane of the sharded WAL pipeline: the same drain/fsync
+/// latency pair the global `wal.drain`/`wal.fsync` histograms record,
+/// but scoped to one shard so a slow disk or a hot shard shows up as
+/// *which* pipeline is behind, not just a fatter global tail. Lanes are
+/// created on demand by [`Obs::wal_shard_lane`] and recorded into
+/// lock-free; snapshots surface them as `wal.drain.shard<k>` /
+/// `wal.fsync.shard<k>`.
+pub struct WalShardLane {
+    /// One whole drain epoch on this shard (append → fsync → ack).
+    pub drain: LatencyHistogram,
+    /// The fsyncs issued by this shard's fsyncer thread.
+    pub fsync: LatencyHistogram,
+}
+
+impl WalShardLane {
+    fn new() -> WalShardLane {
+        WalShardLane {
+            drain: LatencyHistogram::new(),
+            fsync: LatencyHistogram::new(),
+        }
+    }
+}
+
 /// The engine-wide observability registry. Cheap to record into from
 /// any thread; see the crate docs for the cost model.
 pub struct Obs {
@@ -91,6 +114,10 @@ pub struct Obs {
     /// name on re-registration so a restarted front-end over the same
     /// engine never double-reports.
     providers: Mutex<Vec<(String, ProviderFn)>>, // lock-rank: 620
+    /// Per-shard WAL pipeline lanes, indexed by shard. The mutex guards
+    /// only lane *creation* (at pipeline spawn) and snapshot iteration;
+    /// recording goes through the `Arc` each pipeline holds, lock-free.
+    wal_shard_lanes: Mutex<Vec<std::sync::Arc<WalShardLane>>>, // lock-rank: 630
 }
 
 impl Default for Obs {
@@ -117,7 +144,19 @@ impl Obs {
             purposes: Mutex::ranked(600, BTreeMap::new()),
             slow: Mutex::ranked(610, VecDeque::new()),
             providers: Mutex::ranked(620, Vec::new()),
+            wal_shard_lanes: Mutex::ranked(630, Vec::new()),
         }
+    }
+
+    /// The drain/fsync lane for WAL shard `shard`, created on first use.
+    /// Pipelines call this once at spawn and keep the `Arc`; every
+    /// record afterwards is lock-free.
+    pub fn wal_shard_lane(&self, shard: usize) -> std::sync::Arc<WalShardLane> {
+        let mut lanes = self.wal_shard_lanes.lock();
+        while lanes.len() <= shard {
+            lanes.push(std::sync::Arc::new(WalShardLane::new()));
+        }
+        lanes[shard].clone()
     }
 
     /// Are tracing spans recording?
@@ -231,7 +270,7 @@ impl Obs {
     /// counters. Engine-side counters and gauges (WAL/db/scheduler) are
     /// appended by the engine's snapshot builder on top of this.
     pub fn snapshot(&self) -> StatsSnapshot {
-        let hists = vec![
+        let mut hists = vec![
             ("commit.ack".to_string(), self.commit_ack.snapshot()),
             ("commit.submit".to_string(), self.commit_submit.snapshot()),
             ("wal.drain".to_string(), self.wal_drain.snapshot()),
@@ -243,6 +282,10 @@ impl Obs {
             ("checkpoint".to_string(), self.checkpoint.snapshot()),
             ("recovery".to_string(), self.recovery.snapshot()),
         ];
+        for (k, lane) in self.wal_shard_lanes.lock().iter().enumerate() {
+            hists.push((format!("wal.drain.shard{k}"), lane.drain.snapshot()));
+            hists.push((format!("wal.fsync.shard{k}"), lane.fsync.snapshot()));
+        }
         let purposes: Vec<(String, PurposeCounters)> = self
             .purposes
             .lock()
@@ -409,6 +452,31 @@ mod tests {
         assert_eq!(lines.len(), 1);
         assert!(lines[0].starts_with("{\"id\":\"bench/clients/1/commit.ack\","));
         assert!(lines[0].contains("\"p99_us\":"));
+    }
+
+    #[test]
+    fn wal_shard_lanes_surface_in_snapshots_by_shard_index() {
+        let obs = Obs::new();
+        assert!(obs.snapshot().hist("wal.drain.shard0").is_none());
+        let lane0 = obs.wal_shard_lane(0);
+        let lane2 = obs.wal_shard_lane(2);
+        assert!(
+            std::sync::Arc::ptr_eq(&lane0, &obs.wal_shard_lane(0)),
+            "re-acquiring a lane returns the same histograms"
+        );
+        lane0.drain.record(100);
+        lane2.fsync.record(50);
+        let s = obs.snapshot();
+        assert_eq!(s.hist("wal.drain.shard0").map(|h| h.count), Some(1));
+        assert_eq!(s.hist("wal.fsync.shard0").map(|h| h.count), Some(0));
+        assert_eq!(
+            s.hist("wal.drain.shard1").map(|h| h.count),
+            Some(0),
+            "asking for shard 2 materialized the lanes below it"
+        );
+        assert_eq!(s.hist("wal.fsync.shard2").map(|h| h.count), Some(1));
+        let lines = s.ndjson_lines("x");
+        assert!(lines.iter().any(|l| l.contains("\"x/wal.fsync.shard2\"")));
     }
 
     #[test]

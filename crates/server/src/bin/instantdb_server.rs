@@ -3,7 +3,7 @@
 //! ```text
 //! instantdb-server --addr 127.0.0.1:5433 --data /var/lib/idb/main \
 //!     [--max-conns N] [--workers N] [--queue-depth N]
-//!     [--checkpoint-every-ms N] [--degrade-every-ms N]
+//!     [--wal-shards N] [--checkpoint-every-ms N] [--degrade-every-ms N]
 //!     [--wal-retention-segments N] [--stdin-control]
 //! ```
 //!
@@ -27,7 +27,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: instantdb-server [--addr A] [--data PATH] [--max-conns N] \
          [--workers N] [--queue-depth N] [--max-frame-bytes N] \
-         [--checkpoint-every-ms N] [--degrade-every-ms N] \
+         [--wal-shards N] [--checkpoint-every-ms N] [--degrade-every-ms N] \
          [--wal-retention-segments N] [--slow-query-ms N] [--stdin-control]"
     );
     std::process::exit(2);
@@ -40,6 +40,7 @@ struct Args {
     workers: usize,
     queue_depth: usize,
     max_frame_bytes: u32,
+    wal_shards: Option<usize>,
     checkpoint_every_ms: Option<u64>,
     degrade_every_ms: Option<u64>,
     wal_retention_segments: Option<u64>,
@@ -55,6 +56,7 @@ fn parse_args() -> Args {
         workers: 4,
         queue_depth: 64,
         max_frame_bytes: instant_server::protocol::DEFAULT_MAX_FRAME_BYTES,
+        wal_shards: None,
         checkpoint_every_ms: None,
         degrade_every_ms: Some(250),
         wal_retention_segments: None,
@@ -76,6 +78,7 @@ fn parse_args() -> Args {
             "--max-frame-bytes" => {
                 args.max_frame_bytes = parse(&value("--max-frame-bytes"), "--max-frame-bytes")
             }
+            "--wal-shards" => args.wal_shards = Some(parse(&value("--wal-shards"), "--wal-shards")),
             "--checkpoint-every-ms" => {
                 args.checkpoint_every_ms = Some(parse(
                     &value("--checkpoint-every-ms"),
@@ -115,14 +118,28 @@ fn main() {
     // Built-in domain hierarchies remote DDL can reference by name.
     hierarchies.register("location_gt", Arc::new(location_tree_fig1()));
 
-    let db_cfg = DbConfig {
-        path: args.data.clone(),
-        checkpoint_every: args
-            .checkpoint_every_ms
-            .map(std::time::Duration::from_millis),
-        wal_retention_segments: args.wal_retention_segments,
-        slow_query: args.slow_query_ms.map(std::time::Duration::from_millis),
-        ..DbConfig::default()
+    // Assemble the engine config through the validating builder: a bad
+    // combination (e.g. `--wal-shards 0`) is rejected here with a usage
+    // error instead of reaching `Db::open` half-configured.
+    let mut builder = DbConfig::builder();
+    if let Some(p) = args.data.clone() {
+        builder = builder.path(p);
+    }
+    if let Some(n) = args.wal_shards {
+        builder = builder.wal_shards(n);
+    }
+    if let Some(ms) = args.checkpoint_every_ms {
+        builder = builder.checkpoint_every(std::time::Duration::from_millis(ms));
+    }
+    if let Some(cap) = args.wal_retention_segments {
+        builder = builder.wal_retention_segments(cap);
+    }
+    if let Some(ms) = args.slow_query_ms {
+        builder = builder.slow_query(std::time::Duration::from_millis(ms));
+    }
+    let db_cfg = match builder.build() {
+        Ok(cfg) => cfg,
+        Err(e) => usage(&e.to_string()),
     };
     let db = match open_or_recover(db_cfg, Arc::new(SystemClock), &hierarchies) {
         Ok(db) => db,

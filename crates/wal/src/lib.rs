@@ -25,6 +25,11 @@
 //!   a dedicated log-writer thread drains every waiting commit batch and
 //!   issues one fsync per drain, preserving the acknowledged-implies-
 //!   durable contract while N committers share a single fsync.
+//! * The log can be **sharded** ([`walset::WalSet`]): N per-shard segment
+//!   directories behind one global LSN allocator, each with its own
+//!   group-commit pipeline, so independent committers append and fsync in
+//!   parallel; recovery k-way merges the shards back into one LSN-ordered
+//!   stream.
 //!
 //! Recovery ([`recovery`]) is logical redo: committed operations after the
 //! last checkpoint are replayed; records whose window key has been shredded
@@ -41,10 +46,12 @@ pub mod keystore;
 pub mod record;
 pub mod recovery;
 pub mod segment;
+pub mod walset;
 pub mod writer;
 
-pub use group::{CommitTicket, GroupCommit, GroupCommitConfig, GroupCommitStats};
+pub use group::{CommitTicket, GroupCommit, GroupCommitConfig, GroupCommitSet, GroupCommitStats};
 pub use keystore::KeyStore;
 pub use record::{LogRecord, Lsn, Payload};
 pub use segment::{SegmentConfig, SegmentStats};
+pub use walset::WalSet;
 pub use writer::Wal;

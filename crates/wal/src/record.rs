@@ -134,6 +134,14 @@ pub enum LogRecord {
     },
     /// Checkpoint: all dirty pages flushed; log before this is dead.
     Checkpoint { at: Timestamp },
+    /// Shard-log LSN discontinuity marker: the *next* record in this
+    /// shard's byte stream carries global LSN `next`. Written by a
+    /// sharded log when the global allocator handed other shards the
+    /// intervening LSNs; consumes no LSN itself and never reaches
+    /// recovery's replay (the scanner applies it and strips it). A
+    /// single-shard log never produces one, which is what keeps the
+    /// N=1 layout byte-identical to the unsharded format.
+    LsnJump { next: Lsn },
 }
 
 impl LogRecord {
@@ -147,7 +155,7 @@ impl LogRecord {
             | LogRecord::Degrade { tx, .. }
             | LogRecord::Delete { tx, .. }
             | LogRecord::Expunge { tx, .. } => Some(*tx),
-            LogRecord::Checkpoint { .. } => None,
+            LogRecord::Checkpoint { .. } | LogRecord::LsnJump { .. } => None,
         }
     }
 
@@ -162,6 +170,8 @@ impl LogRecord {
             | LogRecord::Delete { at, .. }
             | LogRecord::Expunge { at, .. }
             | LogRecord::Checkpoint { at } => *at,
+            // A jump is pure log plumbing; it happens at no event time.
+            LogRecord::LsnJump { .. } => Timestamp::ZERO,
         }
     }
 
@@ -251,6 +261,10 @@ impl LogRecord {
                 out.push(9);
                 raw::put_u64(&mut out, at.0);
             }
+            LogRecord::LsnJump { next } => {
+                out.push(10);
+                raw::put_u64(&mut out, *next);
+            }
         }
         out
     }
@@ -328,6 +342,9 @@ impl LogRecord {
             }
             9 => LogRecord::Checkpoint {
                 at: Timestamp(raw::get_u64(buf)?),
+            },
+            10 => LogRecord::LsnJump {
+                next: raw::get_u64(buf)?,
             },
             other => return Err(Error::Corrupt(format!("unknown log record tag {other}"))),
         };
@@ -437,6 +454,7 @@ mod tests {
                 at: t,
             },
             LogRecord::Checkpoint { at: t },
+            LogRecord::LsnJump { next: 123_456 },
         ]
     }
 
@@ -500,5 +518,6 @@ mod tests {
         assert_eq!(LogRecord::Begin { tx: TxId(7), at: t }.tx(), Some(TxId(7)));
         assert_eq!(LogRecord::Checkpoint { at: t }.tx(), None);
         assert_eq!(LogRecord::Checkpoint { at: t }.at(), t);
+        assert_eq!(LogRecord::LsnJump { next: 9 }.tx(), None);
     }
 }

@@ -115,6 +115,17 @@ pub fn recover(wal: &Wal, ks: &KeyStore) -> instant_common::Result<RecoveryPlan>
     Ok(replay(&records, ks))
 }
 
+/// [`recover`] over a sharded log: the set's k-way merge yields the
+/// shards' records re-serialized into global LSN order, so the replay
+/// core is identical to the single-directory case.
+pub fn recover_set(
+    set: &crate::walset::WalSet,
+    ks: &KeyStore,
+) -> instant_common::Result<RecoveryPlan> {
+    let records = set.iterate()?;
+    Ok(replay(&records, ks))
+}
+
 /// Pure-function core of [`recover`] (also used by tests on synthetic logs).
 pub fn replay(records: &[(Lsn, LogRecord)], ks: &KeyStore) -> RecoveryPlan {
     let mut plan = RecoveryPlan::default();

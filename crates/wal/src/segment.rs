@@ -227,12 +227,18 @@ impl FrameScanner {
 /// Everything a full validating scan of one segment learns.
 pub struct ScannedSegment {
     pub header: SegmentHeader,
-    /// Fully validated records in the segment.
+    /// Fully validated frames in the segment (jump markers included).
     pub records: u64,
     /// Byte offset just past the last valid frame (= end of usable data).
     pub valid_len: u64,
     /// On-disk file length (> `valid_len` means a torn/corrupt tail).
     pub file_len: u64,
+    /// LSN the record *after* this segment's valid frames would carry.
+    /// Tracked frame by frame rather than derived as `first_lsn +
+    /// records`, because a sharded log's [`LogRecord::LsnJump`] markers
+    /// make per-shard LSNs discontinuous (a jump re-bases the running
+    /// LSN and consumes none itself).
+    pub next_lsn: Lsn,
 }
 
 /// Scan one segment file end to end. `Ok(None)` means the header itself
@@ -254,14 +260,20 @@ pub fn scan_segment(path: &Path) -> Result<Option<ScannedSegment>> {
     file.seek(SeekFrom::Start(0))?;
     let mut scan = FrameScanner::new(file, SEGMENT_HEADER_LEN)?;
     let mut records = 0u64;
-    while scan.next_record()?.is_some() {
+    let mut next_lsn = header.first_lsn;
+    while let Some(rec) = scan.next_record()? {
         records += 1;
+        match rec {
+            LogRecord::LsnJump { next } => next_lsn = next,
+            _ => next_lsn += 1,
+        }
     }
     Ok(Some(ScannedSegment {
         header,
         records,
         valid_len: scan.pos(),
         file_len: scan.file_len(),
+        next_lsn,
     }))
 }
 

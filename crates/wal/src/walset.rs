@@ -1,0 +1,597 @@
+//! The sharded log: N per-shard [`Wal`] directories behind one global
+//! LSN space.
+//!
+//! A [`WalSet`] owns a directory of per-shard segment directories
+//! (`<path>/shard-<k>/wal.<seqno>.seg`). Commits are routed to a shard by
+//! transaction id, so independent committers append — and, with one
+//! group-commit pipeline per shard, *fsync* — in parallel instead of
+//! funnelling through a single drain thread. What keeps the shards one
+//! log is the **global LSN allocator**: a shared atomic that every shard
+//! draws batch ranges from *under its own shard lock*
+//! ([`Wal::append_batch_alloc`]), so each shard's byte stream is
+//! LSN-monotone while the union of all shards is a dense global order.
+//! Gaps a shard sees (LSNs other shards took) are encoded in its stream
+//! as [`LogRecord::LsnJump`] markers; a single-shard set never jumps,
+//! which keeps the N=1 layout byte-identical to a plain [`Wal`]
+//! directory.
+//!
+//! Recovery reads every shard independently (each trims its own torn
+//! tail) and **k-way merges by LSN** into one globally ordered stream —
+//! [`crate::recovery::replay`] consumes it unchanged. An epoch torn on
+//! one shard but durable on another is handled for free: the torn
+//! shard's unacknowledged suffix simply leaves holes in the merged LSN
+//! sequence, and commit analysis never sees a Commit record for a torn
+//! transaction.
+//!
+//! Migration is one-time, on open: a single-file pre-segment log is
+//! first converted by [`Wal::open`]'s own legacy machinery, then a
+//! flat single-directory segment layout (segments directly under
+//! `<path>`) is renamed file-by-file into `shard-000/`. Renames are
+//! atomic and idempotent, so every crash window either retries the move
+//! or finds the finished layout.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use instant_common::{Result, TxId};
+
+use crate::record::{LogRecord, Lsn};
+use crate::segment::{self, SegmentConfig, SegmentStats};
+use crate::writer::{log_size, Wal};
+
+/// Directory name of shard `k` (zero-padded for stable listings).
+fn shard_dir_name(k: usize) -> String {
+    format!("shard-{k:03}")
+}
+
+/// Parse a `shard-<k>` directory name; `None` for anything else.
+fn parse_shard_dir(name: &str) -> Option<usize> {
+    let digits = name.strip_prefix("shard-")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// A set of per-shard logs sharing one global LSN space.
+pub struct WalSet {
+    dir: PathBuf,
+    shards: Vec<Arc<Wal>>,
+    /// The global LSN allocator. Shards draw batch ranges from it under
+    /// their own shard lock, which is the whole ordering story: unique
+    /// LSNs globally, monotone LSNs per shard byte stream.
+    alloc: Arc<AtomicU64>,
+    ephemeral: bool,
+}
+
+impl std::fmt::Debug for WalSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WalSet")
+            .field("dir", &self.dir)
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl WalSet {
+    /// Open (or create) a sharded log at `path` with `shards` shards and
+    /// default segment tuning. The effective shard count is
+    /// `max(shards, 1, shards found on disk)` — an existing log never
+    /// loses a shard to a config shrink, because acknowledged records on
+    /// a stranded shard would silently vanish from recovery.
+    pub fn open(path: impl AsRef<Path>, shards: usize) -> Result<WalSet> {
+        Self::open_with(path, shards, SegmentConfig::default())
+    }
+
+    /// [`WalSet::open`] with explicit segment tuning.
+    pub fn open_with(path: impl AsRef<Path>, shards: usize, cfg: SegmentConfig) -> Result<WalSet> {
+        let dir = path.as_ref().to_path_buf();
+        // A pre-segment single-file log (or its interrupted-migration
+        // marker): let Wal's own crash-safe machinery convert it into a
+        // flat segment directory first, then shard that.
+        if dir.is_file() || legacy_marker_exists(&dir) {
+            drop(Wal::open_with(&dir, cfg.clone())?);
+        }
+        std::fs::create_dir_all(&dir)?;
+        migrate_flat_layout(&dir)?;
+
+        let mut max_on_disk = 0usize;
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            if let Some(k) = entry.file_name().to_str().and_then(parse_shard_dir) {
+                max_on_disk = max_on_disk.max(k + 1);
+            }
+        }
+        let count = shards.max(1).max(max_on_disk);
+
+        let mut shard_logs = Vec::with_capacity(count);
+        let mut next_lsn = 0u64;
+        for k in 0..count {
+            let shard = Wal::open_with(dir.join(shard_dir_name(k)), cfg.clone())?;
+            next_lsn = next_lsn.max(shard.next_lsn());
+            shard_logs.push(Arc::new(shard));
+        }
+        Ok(WalSet {
+            dir,
+            shards: shard_logs,
+            alloc: Arc::new(AtomicU64::new(next_lsn)),
+            ephemeral: false,
+        })
+    }
+
+    /// Throwaway sharded log in the temp directory, removed on drop.
+    pub fn temp_with(tag: &str, shards: usize, cfg: SegmentConfig) -> Result<WalSet> {
+        use std::time::{SystemTime, UNIX_EPOCH};
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap() // lint:allow(L001, a system clock before the Unix epoch is unsupported)
+            .as_nanos();
+        let path = std::env::temp_dir().join(format!(
+            "instantdb-walset-{tag}-{}-{nanos}.log",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        let mut set = Self::open_with(path, shards, cfg)?;
+        set.ephemeral = true;
+        Ok(set)
+    }
+
+    /// The set's root directory.
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard `k`'s underlying log (k-targeted test hooks, pipelines).
+    pub fn shard(&self, k: usize) -> &Arc<Wal> {
+        &self.shards[k]
+    }
+
+    /// A clone of the global LSN allocator, for per-shard pipelines.
+    pub fn alloc_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.alloc)
+    }
+
+    /// The shard a transaction's records are routed to. Records without
+    /// a transaction (`Checkpoint`) go to shard 0.
+    pub fn shard_for(&self, tx: Option<TxId>) -> usize {
+        match tx {
+            Some(tx) => (tx.0 % self.shards.len() as u64) as usize,
+            None => 0,
+        }
+    }
+
+    /// The shard a record batch is routed to (by its first record's
+    /// transaction id — a commit's records all carry one transaction).
+    pub fn shard_for_batch(&self, records: &[LogRecord]) -> usize {
+        self.shard_for(records.first().and_then(|r| r.tx()))
+    }
+
+    /// Append a batch to shard `k` with globally allocated LSNs; returns
+    /// the batch's first LSN. Buffered — call [`WalSet::sync`] on the
+    /// same shard for durability.
+    pub fn append_batch(&self, k: usize, records: &[LogRecord]) -> Result<Lsn> {
+        self.shards[k].append_batch_alloc(&self.alloc, records)
+    }
+
+    /// Append one record, routed by its transaction id.
+    pub fn append(&self, rec: &LogRecord) -> Result<Lsn> {
+        let k = self.shard_for(rec.tx());
+        self.append_batch(k, std::slice::from_ref(rec))
+    }
+
+    /// Fsync shard `k` — the durability point for batches appended to it.
+    pub fn sync(&self, k: usize) -> Result<()> {
+        self.shards[k].sync()
+    }
+
+    /// Fsync every shard.
+    pub fn sync_all(&self) -> Result<()> {
+        for shard in &self.shards {
+            shard.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Seal every shard's active segment (checkpoint prologue): after
+    /// this, everything the checkpoint covers lives in sealed segments
+    /// that [`WalSet::truncate_before`] can delete whole. Empty actives
+    /// no-op per shard.
+    pub fn rotate_all(&self) -> Result<()> {
+        for shard in &self.shards {
+            shard.rotate()?;
+        }
+        Ok(())
+    }
+
+    /// Physically drop records below `keep_from` on every shard; returns
+    /// the total frames dropped.
+    pub fn truncate_before(&self, keep_from: Lsn) -> Result<u64> {
+        let mut dropped = 0u64;
+        for shard in &self.shards {
+            dropped += shard.truncate_before(keep_from)?;
+        }
+        Ok(dropped)
+    }
+
+    /// Every intact record across all shards, **k-way merged by LSN**
+    /// into one globally ordered stream (each shard's own scan is
+    /// already LSN-sorted and torn-tail-trimmed). This is the recovery
+    /// read path: [`crate::recovery::replay`] consumes it unchanged.
+    pub fn iterate(&self) -> Result<Vec<(Lsn, LogRecord)>> {
+        let mut streams = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            streams.push(shard.iterate()?);
+        }
+        let total = streams.iter().map(Vec::len).sum();
+        let mut heads = vec![0usize; streams.len()];
+        let mut out = Vec::with_capacity(total);
+        loop {
+            let mut min: Option<(Lsn, usize)> = None;
+            for (s, stream) in streams.iter().enumerate() {
+                if let Some((lsn, _)) = stream.get(heads[s]) {
+                    if min.map_or(true, |(m, _)| *lsn < m) {
+                        min = Some((*lsn, s));
+                    }
+                }
+            }
+            let Some((_, s)) = min else { break };
+            out.push(streams[s][heads[s]].clone());
+            heads[s] += 1;
+        }
+        Ok(out)
+    }
+
+    /// Next LSN the global allocator will hand out.
+    pub fn next_lsn(&self) -> Lsn {
+        self.alloc.load(Ordering::Relaxed)
+    }
+
+    /// Smallest first-LSN over shards that still retain records; the
+    /// allocator's next LSN when the whole set is empty (shards whose
+    /// log is empty — freshly created or fully truncated — don't drag
+    /// the base down to their stale local watermark).
+    pub fn base_lsn(&self) -> Lsn {
+        let mut base: Option<Lsn> = None;
+        for shard in &self.shards {
+            let b = shard.base_lsn();
+            if b == shard.next_lsn() {
+                continue; // shard retains nothing
+            }
+            base = Some(base.map_or(b, |x: Lsn| x.min(b)));
+        }
+        base.unwrap_or_else(|| self.next_lsn())
+    }
+
+    /// `(appended records, durability fsyncs)` summed over shards.
+    pub fn counters(&self) -> (u64, u64) {
+        let mut appended = 0u64;
+        let mut syncs = 0u64;
+        for shard in &self.shards {
+            let (a, s) = shard.counters();
+            appended += a;
+            syncs += s;
+        }
+        (appended, syncs)
+    }
+
+    /// Bytes physically destroyed by truncation, summed over shards.
+    pub fn truncated_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.truncated_bytes()).sum()
+    }
+
+    /// Segment lifecycle counters, summed over shards.
+    pub fn segment_stats(&self) -> SegmentStats {
+        let mut out = SegmentStats::default();
+        for shard in &self.shards {
+            let s = shard.segment_stats();
+            out.segments += s.segments;
+            out.rotations += s.rotations;
+            out.segments_deleted += s.segments_deleted;
+            out.deleted_bytes += s.deleted_bytes;
+        }
+        out
+    }
+
+    /// Per-shard segment lifecycle counters (observability).
+    pub fn segment_stats_per_shard(&self) -> Vec<SegmentStats> {
+        self.shards.iter().map(|s| s.segment_stats()).collect()
+    }
+
+    /// Raw on-disk bytes of every shard, concatenated in shard order
+    /// (forensic attacker's view).
+    pub fn raw_image(&self) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.raw_image()?);
+        }
+        Ok(out)
+    }
+
+    /// Crash simulation: lose the last `n` bytes of **every** shard's
+    /// active segment (`n = 0` flushes buffers without fsync on every
+    /// shard). For a tear on one specific shard, go through
+    /// [`WalSet::shard`].
+    pub fn torn_tail(&self, n: u64) -> Result<()> {
+        for shard in &self.shards {
+            shard.torn_tail(n)?;
+        }
+        Ok(())
+    }
+
+    /// Total on-disk size of the whole set in bytes.
+    pub fn log_size(&self) -> Result<u64> {
+        let mut total = 0u64;
+        for shard in &self.shards {
+            total += log_size(shard)?;
+        }
+        Ok(total)
+    }
+}
+
+impl Drop for WalSet {
+    fn drop(&mut self) {
+        if self.ephemeral {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+}
+
+/// Does `<path>.legacy` (the single-file migration marker) exist?
+fn legacy_marker_exists(path: &Path) -> bool {
+    let mut s = path.as_os_str().to_os_string();
+    s.push(".legacy");
+    PathBuf::from(s).is_file()
+}
+
+/// One-time migration of a flat single-directory segment layout
+/// (`<path>/wal.<seqno>.seg`, the pre-shard format) into `shard-000/`.
+/// Pure atomic renames in ascending seqno order, then both directory
+/// entries are fsynced; a crash mid-way leaves a partial split that the
+/// next open finishes (names are unique across the two directories, so
+/// re-running is idempotent).
+fn migrate_flat_layout(dir: &Path) -> Result<()> {
+    let flat = segment::list_segments(dir)?;
+    if flat.is_empty() {
+        return Ok(());
+    }
+    let shard0 = dir.join(shard_dir_name(0));
+    std::fs::create_dir_all(&shard0)?;
+    for (seqno, path) in flat {
+        std::fs::rename(path, shard0.join(segment::file_name(seqno)))?;
+    }
+    segment::sync_dir(&shard0)?;
+    segment::sync_dir(dir)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Payload;
+    use instant_common::{TableId, Timestamp, TupleId};
+
+    fn rec(tx: u64, i: u64) -> LogRecord {
+        LogRecord::Insert {
+            tx: TxId(tx),
+            table: TableId(1),
+            tid: TupleId::new(1, i as u16),
+            row: Payload::Plain(format!("row-{tx}-{i}").into_bytes()),
+            at: Timestamp::micros(i),
+        }
+    }
+
+    fn scratch(tag: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!(
+            "instantdb-walset-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&p);
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn shard_names_round_trip() {
+        assert_eq!(parse_shard_dir(&shard_dir_name(0)), Some(0));
+        assert_eq!(parse_shard_dir(&shard_dir_name(17)), Some(17));
+        assert_eq!(parse_shard_dir("shard-"), None);
+        assert_eq!(parse_shard_dir("shard-x"), None);
+        assert_eq!(parse_shard_dir("wal.000000000000.seg"), None);
+    }
+
+    #[test]
+    fn routed_appends_merge_back_in_global_lsn_order() {
+        let set = WalSet::temp_with("merge", 4, SegmentConfig::default()).unwrap();
+        let mut appended = Vec::new();
+        for tx in 0..40u64 {
+            let batch = vec![rec(tx, 0), rec(tx, 1)];
+            let k = set.shard_for_batch(&batch);
+            assert_eq!(k, (tx % 4) as usize);
+            let first = set.append_batch(k, &batch).unwrap();
+            appended.push((first, batch));
+        }
+        set.sync_all().unwrap();
+        let merged = set.iterate().unwrap();
+        assert_eq!(merged.len(), 80);
+        // Strictly ascending, dense global LSNs.
+        for (i, (lsn, _)) in merged.iter().enumerate() {
+            assert_eq!(*lsn, i as u64);
+        }
+        // Every batch is contiguous at its allocated base.
+        for (first, batch) in appended {
+            for (j, want) in batch.iter().enumerate() {
+                assert_eq!(&merged[first as usize + j].1, want);
+            }
+        }
+        assert_eq!(set.next_lsn(), 80);
+    }
+
+    #[test]
+    fn reopen_resumes_global_lsn_at_max_over_shards() {
+        let path = scratch("reopen");
+        {
+            let set = WalSet::open(&path, 3).unwrap();
+            for tx in 0..10u64 {
+                let k = set.shard_for(Some(TxId(tx)));
+                set.append_batch(k, &[rec(tx, 0)]).unwrap();
+            }
+            set.sync_all().unwrap();
+            assert_eq!(set.next_lsn(), 10);
+        }
+        {
+            let set = WalSet::open(&path, 3).unwrap();
+            assert_eq!(set.next_lsn(), 10, "allocator resumes past all shards");
+            assert_eq!(set.iterate().unwrap().len(), 10);
+            let lsn = set.append_batch(0, &[rec(30, 0)]).unwrap();
+            assert_eq!(lsn, 10);
+        }
+        std::fs::remove_dir_all(&path).unwrap();
+    }
+
+    #[test]
+    fn config_shrink_never_strands_a_shard() {
+        let path = scratch("shrink");
+        {
+            let set = WalSet::open(&path, 4).unwrap();
+            for tx in 0..8u64 {
+                let k = set.shard_for(Some(TxId(tx)));
+                set.append_batch(k, &[rec(tx, 0)]).unwrap();
+            }
+            set.sync_all().unwrap();
+        }
+        {
+            let set = WalSet::open(&path, 1).unwrap();
+            assert_eq!(set.shard_count(), 4, "on-disk shards win over config");
+            assert_eq!(set.iterate().unwrap().len(), 8, "no shard stranded");
+        }
+        std::fs::remove_dir_all(&path).unwrap();
+    }
+
+    #[test]
+    fn flat_pr4_layout_migrates_into_shard_zero() {
+        let path = scratch("flat");
+        // Write a flat single-directory log with the plain Wal.
+        {
+            let wal = Wal::open(&path).unwrap();
+            for i in 0..6u64 {
+                wal.append(&rec(i, i)).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let set = WalSet::open(&path, 2).unwrap();
+        assert!(
+            segment::list_segments(&path).unwrap().is_empty(),
+            "no flat segments left behind"
+        );
+        assert!(path.join(shard_dir_name(0)).is_dir());
+        assert_eq!(set.next_lsn(), 6);
+        let merged = set.iterate().unwrap();
+        assert_eq!(merged.len(), 6);
+        for (i, (lsn, r)) in merged.iter().enumerate() {
+            assert_eq!(*lsn, i as u64);
+            assert_eq!(r, &rec(i as u64, i as u64));
+        }
+        // The migrated set keeps working across both shards.
+        set.append_batch(1, &[rec(7, 7)]).unwrap();
+        set.sync(1).unwrap();
+        assert_eq!(set.iterate().unwrap().len(), 7);
+        drop(set);
+        std::fs::remove_dir_all(&path).unwrap();
+    }
+
+    #[test]
+    fn single_file_legacy_log_migrates_through_both_formats() {
+        use instant_common::codec::fnv1a;
+        use std::io::Write as _;
+        let path = scratch("legacy");
+        {
+            let mut f = std::fs::File::create(&path).unwrap();
+            for i in 0..4u64 {
+                let body = rec(i, i).encode();
+                f.write_all(&(body.len() as u32).to_le_bytes()).unwrap();
+                f.write_all(&fnv1a(&body).to_le_bytes()).unwrap();
+                f.write_all(&body).unwrap();
+            }
+            f.sync_all().unwrap();
+        }
+        let set = WalSet::open(&path, 2).unwrap();
+        assert_eq!(set.next_lsn(), 4, "single-file → flat → sharded");
+        assert_eq!(set.iterate().unwrap().len(), 4);
+        drop(set);
+        std::fs::remove_dir_all(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_shard_loses_only_its_own_tail_in_the_merge() {
+        let path = scratch("torn");
+        {
+            let set = WalSet::open(&path, 2).unwrap();
+            // Shard 0: txs 0,2; shard 1: txs 1,3.
+            for tx in 0..4u64 {
+                let k = set.shard_for(Some(TxId(tx)));
+                set.append_batch(k, &[rec(tx, 0)]).unwrap();
+            }
+            // Shard 1 is durable; shard 0's last append tears.
+            set.shard(1).sync().unwrap();
+            set.shard(0).torn_tail(3).unwrap();
+        }
+        let set = WalSet::open(&path, 2).unwrap();
+        let merged = set.iterate().unwrap();
+        let lsns: Vec<Lsn> = merged.iter().map(|(l, _)| *l).collect();
+        // Shard 0 lost tx 2 (LSN 2); shard 1's records survive around
+        // the hole.
+        assert_eq!(lsns, vec![0, 1, 3], "hole where the torn record was");
+        drop(set);
+        std::fs::remove_dir_all(&path).unwrap();
+    }
+
+    #[test]
+    fn single_shard_set_is_byte_identical_to_a_plain_wal() {
+        let plain = Wal::temp("plain-twin").unwrap();
+        let set = WalSet::temp_with("set-twin", 1, SegmentConfig::default()).unwrap();
+        for tx in 0..12u64 {
+            let batch = vec![rec(tx, 0), rec(tx, 1)];
+            plain.append_batch(&batch).unwrap();
+            set.append_batch(0, &batch).unwrap();
+        }
+        plain.sync().unwrap();
+        set.sync_all().unwrap();
+        assert_eq!(
+            plain.raw_image().unwrap(),
+            set.raw_image().unwrap(),
+            "N=1 never writes a jump marker"
+        );
+    }
+
+    #[test]
+    fn truncate_and_base_lsn_span_shards() {
+        let set = WalSet::temp_with("trunc", 2, SegmentConfig::default()).unwrap();
+        for tx in 0..10u64 {
+            let k = set.shard_for(Some(TxId(tx)));
+            set.append_batch(k, &[rec(tx, 0)]).unwrap();
+        }
+        set.sync_all().unwrap();
+        assert_eq!(set.base_lsn(), 0);
+        set.rotate_all().unwrap();
+        // A checkpoint-style record lands on shard 0 after the rotation.
+        let ckpt = set
+            .append(&LogRecord::Checkpoint {
+                at: Timestamp::ZERO,
+            })
+            .unwrap();
+        set.sync(0).unwrap();
+        set.truncate_before(ckpt).unwrap();
+        let merged = set.iterate().unwrap();
+        assert_eq!(merged.len(), 1, "only the checkpoint record survives");
+        assert_eq!(merged[0].0, ckpt);
+        assert_eq!(set.base_lsn(), ckpt, "empty shards don't drag the base");
+        assert!(set.segment_stats().segments_deleted >= 2);
+    }
+}

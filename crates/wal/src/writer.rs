@@ -88,6 +88,53 @@ impl WalInner {
         Ok(lsn)
     }
 
+    /// Write an [`LogRecord::LsnJump`] frame re-basing this shard's
+    /// running LSN to `next`. Consumes no LSN and does not count as an
+    /// appended record — it is byte-stream plumbing for sharded logs
+    /// whose global allocator handed the intervening LSNs to other
+    /// shards.
+    fn write_jump(&mut self, next: Lsn) -> Result<()> {
+        if self.active.written >= self.capacity && self.active.records > 0 {
+            self.rotate()?;
+        }
+        let bytes = LogRecord::LsnJump { next }.encode();
+        let frame = segment::write_frame(&mut self.active.writer, &bytes)?;
+        if self.active.records == 0 {
+            // The segment holds nothing but this jump: its first *real*
+            // record will carry `next`, so advance the in-memory base.
+            // The on-disk header keeps the rotation-time watermark —
+            // scans start there and the jump re-bases them — but
+            // `base_lsn` must not report an LSN this shard never
+            // retained. (Sound as a truncation end bound for the
+            // previous segment too: a jump from the segment's start
+            // means no record in the gap exists on this shard.)
+            self.active.first_lsn = next;
+        }
+        self.active.records += 1;
+        self.active.written += frame;
+        self.next_lsn = next;
+        Ok(())
+    }
+
+    /// Append `records` contiguously starting at the explicit global LSN
+    /// `base`, emitting a jump marker first when `base` is ahead of this
+    /// shard's local stream. `base` must never regress (the caller
+    /// allocates it under this same lock).
+    fn append_batch_at(&mut self, base: Lsn, records: &[LogRecord]) -> Result<()> {
+        debug_assert!(
+            base >= self.next_lsn,
+            "global LSN allocation regressed: base {base} < next {}",
+            self.next_lsn
+        );
+        if base != self.next_lsn {
+            self.write_jump(base)?;
+        }
+        for rec in records {
+            self.append_one(rec)?;
+        }
+        Ok(())
+    }
+
     /// Seal the active segment and start a fresh one at the next LSN.
     /// No-op while the active segment is empty (so back-to-back rotations
     /// never litter the directory with zero-record files).
@@ -220,6 +267,7 @@ impl Wal {
         let mut metas: Vec<SealedSegment> = Vec::new();
         let mut last_seqno = 0u64;
         let mut expect_lsn: Option<Lsn> = None;
+        let mut last_next_lsn: Lsn = 0;
         for (i, (seqno, seg_path)) in on_disk.iter().enumerate() {
             let scanned = segment::scan_segment(seg_path)?;
             let valid = scanned.as_ref().is_some_and(|s| {
@@ -254,7 +302,11 @@ impl Wal {
                 }
             }
             last_seqno = *seqno;
-            expect_lsn = Some(s.header.first_lsn + s.records);
+            // The scan tracks the running LSN frame by frame (jump
+            // markers re-base it), so sharded logs with discontinuous
+            // per-shard LSNs chain-validate exactly like dense ones.
+            expect_lsn = Some(s.next_lsn);
+            last_next_lsn = s.next_lsn;
             metas.push(SealedSegment {
                 first_lsn: s.header.first_lsn,
                 records: s.records,
@@ -268,7 +320,7 @@ impl Wal {
 
         let (active, next_lsn) = match metas.pop() {
             Some(last) => {
-                let next_lsn = last.first_lsn + last.records;
+                let next_lsn = last_next_lsn;
                 let active = reopen_active(
                     last.path,
                     last_seqno,
@@ -359,6 +411,30 @@ impl Wal {
         Ok(first)
     }
 
+    /// [`Wal::append_batch`] for one shard of a sharded log: the batch's
+    /// first LSN comes from the shared global allocator instead of this
+    /// shard's local stream. The allocation happens *under this shard's
+    /// lock*, which is what guarantees per-shard LSN monotonicity (two
+    /// committers racing into the same shard allocate in the order they
+    /// enter the log, so the byte stream and the LSN order agree). When
+    /// the allocated base is ahead of the local stream — other shards
+    /// took the LSNs in between — an [`LogRecord::LsnJump`] marker
+    /// re-bases the stream first; a single-shard set never jumps, so its
+    /// layout stays byte-identical to a plain [`Wal`].
+    pub fn append_batch_alloc(
+        &self,
+        alloc: &std::sync::atomic::AtomicU64,
+        records: &[LogRecord],
+    ) -> Result<Lsn> {
+        let mut inner = self.inner.lock();
+        let base = alloc.fetch_add(records.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        if !records.is_empty() {
+            // lint:allow(L102, deliberate append-under-Wal-lock: the inner mutex is the log's serialization point and rotation may fsync the outgoing segment)
+            inner.append_batch_at(base, records)?;
+        }
+        Ok(base)
+    }
+
     /// Flush buffers and fsync the active segment — the durability point.
     /// (Sealed segments were already fsynced when they rotated out.)
     pub fn sync(&self) -> Result<()> {
@@ -431,7 +507,7 @@ impl Wal {
         };
         let mut out = Vec::new();
         for (path, first_lsn) in paths {
-            let (records, clean) = match scan_records(&path)? {
+            let (records, clean) = match scan_records(&path, first_lsn)? {
                 Some(s) => s,
                 None if !path.exists() => {
                     out.clear(); // racing truncation deleted the prefix
@@ -439,9 +515,7 @@ impl Wal {
                 }
                 None => break, // unreadable header — end of usable log
             };
-            for (lsn, rec) in (first_lsn..).zip(records) {
-                out.push((lsn, rec));
-            }
+            out.extend(records);
             if !clean {
                 break; // torn/corrupt frame — nothing after it is reachable
             }
@@ -554,10 +628,14 @@ impl Drop for Wal {
     }
 }
 
-/// Scan one segment's records; `Ok(None)` when its header is unreadable.
-/// The bool is `true` when the scan consumed the file cleanly (no torn or
-/// corrupt tail).
-fn scan_records(path: &Path) -> Result<Option<(Vec<LogRecord>, bool)>> {
+/// One segment's records tagged with their LSNs; the bool is `true`
+/// when the scan consumed the file cleanly (no torn or corrupt tail).
+type SegmentScan = (Vec<(Lsn, LogRecord)>, bool);
+
+/// Scan one segment's records with their LSNs, starting the running LSN
+/// at `first_lsn`; jump markers re-base it and are stripped from the
+/// output. `Ok(None)` when the header is unreadable.
+fn scan_records(path: &Path, first_lsn: Lsn) -> Result<Option<SegmentScan>> {
     let file = match File::open(path) {
         Ok(f) => f,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
@@ -569,8 +647,15 @@ fn scan_records(path: &Path) -> Result<Option<(Vec<LogRecord>, bool)>> {
     }
     let mut scan = FrameScanner::new(file, SEGMENT_HEADER_LEN)?;
     let mut records = Vec::new();
+    let mut lsn = first_lsn;
     while let Some(rec) = scan.next_record()? {
-        records.push(rec);
+        match rec {
+            LogRecord::LsnJump { next } => lsn = next,
+            rec => {
+                records.push((lsn, rec));
+                lsn += 1;
+            }
+        }
     }
     let clean = scan.pos() == scan.file_len();
     Ok(Some((records, clean)))
@@ -1083,6 +1168,68 @@ mod tests {
         let wal = Wal::temp("w7").unwrap();
         assert!(wal.iterate().unwrap().is_empty());
         assert_eq!(wal.next_lsn(), 0);
+    }
+
+    #[test]
+    fn alloc_appends_with_gaps_round_trip_and_reopen() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let path = scratch("alloc-gaps");
+        {
+            let wal = Wal::open(&path).unwrap();
+            let alloc = AtomicU64::new(0);
+            assert_eq!(
+                wal.append_batch_alloc(&alloc, &[rec(0), rec(1)]).unwrap(),
+                0
+            );
+            // Other shards take LSNs 2..7 from the shared allocator.
+            alloc.fetch_add(5, Ordering::Relaxed);
+            assert_eq!(
+                wal.append_batch_alloc(&alloc, &[rec(7), rec(8)]).unwrap(),
+                7
+            );
+            wal.sync().unwrap();
+            let records = wal.iterate().unwrap();
+            let lsns: Vec<Lsn> = records.iter().map(|(l, _)| *l).collect();
+            assert_eq!(lsns, vec![0, 1, 7, 8], "jump applied and stripped");
+            assert_eq!(records[2].1, rec(7));
+            assert_eq!(wal.next_lsn(), 9);
+        }
+        {
+            let wal = Wal::open(&path).unwrap();
+            assert_eq!(wal.next_lsn(), 9, "reopen scans jump-aware");
+            let alloc = AtomicU64::new(12);
+            assert_eq!(wal.append_batch_alloc(&alloc, &[rec(12)]).unwrap(), 12);
+            wal.sync().unwrap();
+            let lsns: Vec<Lsn> = wal.iterate().unwrap().iter().map(|(l, _)| *l).collect();
+            assert_eq!(lsns, vec![0, 1, 7, 8, 12]);
+        }
+        std::fs::remove_dir_all(&path).unwrap();
+    }
+
+    #[test]
+    fn gapped_log_rotates_and_truncates_like_a_dense_one() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let wal = Wal::temp_with("alloc-rot", tiny_cfg()).unwrap();
+        let alloc = AtomicU64::new(0);
+        // Every batch jumps (stride 3: this shard takes one LSN of each
+        // allocation, "other shards" the rest), across several rotations.
+        let mut lsns = Vec::new();
+        for i in 0..200u64 {
+            lsns.push(wal.append_batch_alloc(&alloc, &[rec(i)]).unwrap());
+            alloc.fetch_add(2, Ordering::Relaxed);
+        }
+        wal.sync().unwrap();
+        assert!(wal.segment_stats().rotations >= 1);
+        let read: Vec<Lsn> = wal.iterate().unwrap().iter().map(|(l, _)| *l).collect();
+        assert_eq!(read, lsns, "sparse LSNs survive rotation boundaries");
+        // Truncate below a mid-log LSN: whole dead segments go, the
+        // retained suffix still scans with correct sparse LSNs.
+        wal.rotate().unwrap();
+        let cut = lsns[150];
+        wal.truncate_before(cut).unwrap();
+        let after: Vec<Lsn> = wal.iterate().unwrap().iter().map(|(l, _)| *l).collect();
+        assert!(after.ends_with(&lsns[150..]), "retained suffix intact");
+        assert!(after.len() < lsns.len(), "dead prefix segments deleted");
     }
 
     #[test]

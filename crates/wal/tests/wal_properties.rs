@@ -3,12 +3,12 @@
 //! sealing round-trips for live windows and never for shredded ones.
 
 use instant_common::{ColumnId, Duration, LevelId, TableId, Timestamp, TupleId, TxId};
-use instant_wal::group::{GroupCommit, GroupCommitConfig};
+use instant_wal::group::{GroupCommit, GroupCommitConfig, GroupCommitSet};
 use instant_wal::keystore::KeyStore;
 use instant_wal::record::{LogRecord, Payload};
 use instant_wal::recovery;
 use instant_wal::writer::log_size;
-use instant_wal::Wal;
+use instant_wal::{Wal, WalSet};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -206,6 +206,125 @@ proptest! {
         // Shred everything up to and including that window.
         ks.shred_before(at + Duration::hours(1));
         prop_assert_eq!(sealed.open(&ks), None);
+    }
+
+    /// The parallel-backbone crash contract: a mid-burst kill with K
+    /// shards loses no acknowledged commit under the LSN merge — even
+    /// when a phantom epoch after the acknowledged prefix reached the
+    /// shards unevenly (durable on some, torn mid-frame on another).
+    #[test]
+    fn sharded_mid_burst_kill_recovers_every_acknowledged_record(
+        shards in 1usize..=4,
+        batches in proptest::collection::vec(
+            proptest::collection::vec(arb_record(), 1..4), 1..10),
+        junk in proptest::collection::vec(arb_record(), 1..6),
+        torn_pick in any::<prop::sample::Index>(),
+        cut_at in any::<prop::sample::Index>(),
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "instantdb-prop-shardkill-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut acknowledged: Vec<(u64, LogRecord)> = Vec::new();
+        {
+            let set = WalSet::open(&dir, shards).unwrap();
+            let gcs = GroupCommitSet::spawn(&set, GroupCommitConfig::default()).unwrap();
+            for b in &batches {
+                let shard = set.shard_for_batch(b);
+                let first = gcs.commit(shard, b.clone()).unwrap();
+                // Batch LSNs are consecutive: the shard draws the whole
+                // range from the global allocator under its lock.
+                for (i, r) in b.iter().enumerate() {
+                    acknowledged.push((first + i as u64, r.clone()));
+                }
+            }
+            // Every acknowledged epoch is durable once the pipelines stop.
+            gcs.stop();
+            let synced: Vec<u64> = (0..set.shard_count())
+                .map(|k| {
+                    set.shard(k).torn_tail(0).unwrap(); // flush, no fsync
+                    log_size(set.shard(k)).unwrap()
+                })
+                .collect();
+            // The phantom epoch the kill interrupts: unacknowledged
+            // appends that reach the shards unevenly.
+            for r in &junk {
+                set.append(r).unwrap();
+            }
+            let torn = torn_pick.index(set.shard_count());
+            for (k, &synced_len) in synced.iter().enumerate() {
+                let shard = set.shard(k);
+                shard.torn_tail(0).unwrap(); // flush the phantom bytes
+                if k == torn {
+                    // Tear mid-way through this shard's unsynced suffix.
+                    let unsynced = log_size(shard).unwrap() - synced_len;
+                    shard.torn_tail(cut_at.index(unsynced as usize + 1) as u64).unwrap();
+                } else {
+                    // Durable on this shard — but never acknowledged.
+                    shard.sync().unwrap();
+                }
+            }
+        }
+        // "Reboot": reopen the set and k-way merge the shards by LSN.
+        let set = WalSet::open(&dir, shards).unwrap();
+        let back = set.iterate().unwrap();
+        let by_lsn: std::collections::HashMap<u64, &LogRecord> =
+            back.iter().map(|(l, r)| (*l, r)).collect();
+        prop_assert_eq!(by_lsn.len(), back.len(), "merged LSNs must be unique");
+        for (lsn, want) in &acknowledged {
+            match by_lsn.get(lsn) {
+                Some(got) => prop_assert_eq!(*got, want, "acknowledged record changed at lsn {}", lsn),
+                None => prop_assert!(false, "acknowledged lsn {} lost by the merge", lsn),
+            }
+        }
+        // The merge yields a strictly LSN-sorted stream.
+        for w in back.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+        drop(set);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Migration round-trip: a single-directory (PR-4 era) segment
+    /// layout opened as a `WalSet` moves byte-for-byte into shard 0,
+    /// keeps every record at its LSN, and the migration is idempotent
+    /// across reopens at any shard count.
+    #[test]
+    fn flat_single_directory_layout_migrates_and_round_trips(
+        records in proptest::collection::vec(arb_record(), 1..40),
+        chunk in 1usize..8,
+        shards in 1usize..=4,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "instantdb-prop-migrate-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            // The old layout: segments directly under <dir>.
+            let wal = Wal::open(&dir).unwrap();
+            for (i, r) in records.iter().enumerate() {
+                if i > 0 && i % chunk == 0 {
+                    wal.rotate().unwrap();
+                }
+                wal.append(r).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        for reopen in 0..2 {
+            let set = WalSet::open(&dir, shards).unwrap();
+            let back = set.iterate().unwrap();
+            prop_assert_eq!(back.len(), records.len(), "reopen {}", reopen);
+            for ((lsn, got), (i, want)) in back.iter().zip(records.iter().enumerate()) {
+                prop_assert_eq!(*lsn, i as u64);
+                prop_assert_eq!(got, want);
+            }
+            prop_assert_eq!(set.next_lsn(), records.len() as u64);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Recovery only ever replays committed transactions, for arbitrary

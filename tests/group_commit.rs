@@ -129,12 +129,16 @@ fn tear_mid_group_batch_loses_no_acknowledged_commit() {
         }
         // A phantom group batch the crash interrupts before its fsync:
         // its records reach the file, its fsync never happens, and no
-        // ticket for it was ever acknowledged.
+        // ticket for it was ever acknowledged. The tear targets exactly
+        // the shard the engine routes this transaction to — the other
+        // shards keep their acknowledged bytes intact, which is the
+        // realistic crash shape for a sharded log.
         let wal = db.wal().unwrap();
-        wal.torn_tail(0).unwrap(); // flush acknowledged bytes
-        let synced = instantdb::wal::writer::log_size(wal).unwrap();
+        wal.torn_tail(0).unwrap(); // flush acknowledged bytes, all shards
         let at = db.now();
         let tx = instantdb::common::TxId(u64::MAX);
+        let shard = wal.shard(wal.shard_for(Some(tx)));
+        let synced = instantdb::wal::writer::log_size(shard).unwrap();
         wal.append(&instantdb::wal::LogRecord::Begin { tx, at })
             .unwrap();
         wal.append(&instantdb::wal::LogRecord::Delete {
@@ -146,10 +150,10 @@ fn tear_mid_group_batch_loses_no_acknowledged_commit() {
         .unwrap();
         wal.append(&instantdb::wal::LogRecord::Commit { tx, at })
             .unwrap();
-        wal.torn_tail(0).unwrap(); // flush the phantom, still no fsync
-        let full = instantdb::wal::writer::log_size(wal).unwrap();
-        // Crash tears mid-way through the phantom batch.
-        wal.torn_tail((full - synced) / 2).unwrap();
+        shard.torn_tail(0).unwrap(); // flush the phantom, still no fsync
+        let full = instantdb::wal::writer::log_size(shard).unwrap();
+        // Crash tears mid-way through the phantom batch on its shard.
+        shard.torn_tail((full - synced) / 2).unwrap();
         drop(db);
     }
     let db = Db::recover_with_schemas(cfg, clock.shared(), vec![schema()]).unwrap();
