@@ -1,0 +1,120 @@
+//! Replication lag, measured end to end: a leader commits a burst while
+//! a live follower ships, fsyncs, and replays it; the timed window ends
+//! when the follower's heap has caught up.
+//!
+//! `replication/catchup/rows/N` is the closed-loop number (elements/s =
+//! replicated commits per second, including the follower's fsync and
+//! replay). The leader-side `repl.lag` histogram — one sample per
+//! shipping tick that moved data, covering ship → follower fsync →
+//! replay → ack — lands in `BENCH_repl.json` via the criterion shim, and
+//! the CI bench lane gates on its shape (p99 ≥ p50 > 0).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use instant_common::MockClock;
+use instant_core::query::HierarchyRegistry;
+use instant_core::{Db, DbConfig, Session, WalMode};
+use instant_repl::{ReplConfig, ReplListener, Replica, ReplicaConfig};
+
+const CREATE_EVENTS: &str = "CREATE TABLE events (id INT, note TEXT)";
+const ROWS: i64 = 200;
+
+fn append_stats(db: &Arc<Db>, prefix: &str) {
+    let Ok(path) = std::env::var("CRITERION_SHIM_JSON") else {
+        return;
+    };
+    use std::io::Write as _;
+    let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    else {
+        return;
+    };
+    for line in instant_core::metrics::stats_snapshot(db).ndjson_lines(prefix) {
+        let _ = writeln!(f, "{line}");
+    }
+}
+
+fn bench_replication_catchup(c: &mut Criterion) {
+    let clock = MockClock::new();
+    let leader = Arc::new(Db::open(DbConfig::default(), clock.shared()).unwrap());
+    let mut session = Session::with_registry(Arc::clone(&leader), HierarchyRegistry::new());
+    session.execute(CREATE_EVENTS).unwrap();
+
+    let listener = ReplListener::start(
+        Arc::clone(&leader),
+        ReplConfig {
+            tick: Duration::from_millis(1),
+            ddl: vec![CREATE_EVENTS.to_string()],
+            ..ReplConfig::default()
+        },
+    )
+    .unwrap();
+
+    let fclock = MockClock::new();
+    let fdb = Arc::new(
+        Db::open(
+            DbConfig::builder().wal_mode(WalMode::Off).build().unwrap(),
+            fclock.shared(),
+        )
+        .unwrap(),
+    );
+    let dir = std::env::temp_dir().join(format!("instantdb-bench-repl-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let replica = Replica::start(
+        Arc::clone(&fdb),
+        HierarchyRegistry::new(),
+        ReplicaConfig {
+            leader_addr: listener.local_addr().to_string(),
+            dir: dir.clone(),
+            tick: Duration::from_millis(1),
+            ..ReplicaConfig::default()
+        },
+    )
+    .unwrap();
+
+    let caught_up = |want: usize| loop {
+        if let Ok(t) = fdb.catalog().get("events") {
+            if t.scan().unwrap().len() == want {
+                return;
+            }
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    };
+    // Warm up: handshake + DDL + first segment ship, outside the timing.
+    session
+        .execute("INSERT INTO events VALUES (-1, 'warm')")
+        .unwrap();
+    caught_up(1);
+
+    let mut g = c.benchmark_group("replication");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(ROWS as u64));
+    let mut next_id = 0i64;
+    let mut total = 1usize;
+    g.bench_function("catchup/rows/200", |b| {
+        b.iter(|| {
+            for _ in 0..ROWS {
+                session
+                    .execute(&format!("INSERT INTO events VALUES ({next_id}, 'payload')"))
+                    .unwrap();
+                next_id += 1;
+            }
+            total += ROWS as usize;
+            caught_up(total);
+        });
+    });
+    g.finish();
+
+    // Leader-side lag percentiles (repl/repl.lag) for the CI gate.
+    append_stats(&leader, "repl");
+    replica.stop().unwrap();
+    listener.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_replication_catchup);
+criterion_main!(benches);

@@ -35,6 +35,10 @@ pub enum Error {
     /// The server shed this request under admission control (connection
     /// limit reached or the worker queue is full). Retry after backoff.
     ServerBusy(String),
+    /// The endpoint serves reads only (a replication follower): the
+    /// statement would mutate state and was refused. Not retryable —
+    /// the same statement must be sent to the leader instead.
+    ReadOnly(String),
     /// Invalid engine/server configuration, rejected before it takes
     /// effect (e.g. `DbConfig::builder().build()` validation).
     Config(String),
@@ -56,6 +60,7 @@ impl fmt::Display for Error {
             Error::Accuracy(m) => write!(f, "accuracy level error: {m}"),
             Error::Capacity(m) => write!(f, "capacity exceeded: {m}"),
             Error::ServerBusy(m) => write!(f, "server busy: {m}"),
+            Error::ReadOnly(m) => write!(f, "read-only endpoint: {m}"),
             Error::Config(m) => write!(f, "invalid configuration: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
         }
@@ -98,6 +103,7 @@ impl Error {
             Error::Accuracy(_) => "accuracy",
             Error::Capacity(_) => "capacity",
             Error::ServerBusy(_) => "server_busy",
+            Error::ReadOnly(_) => "read_only",
             Error::Config(_) => "config",
             Error::Unsupported(_) => "unsupported",
         }
@@ -122,6 +128,7 @@ impl Error {
             "accuracy" => Error::Accuracy(m),
             "capacity" => Error::Capacity(m),
             "server_busy" => Error::ServerBusy(m),
+            "read_only" => Error::ReadOnly(m),
             "config" => Error::Config(m),
             _ => Error::Unsupported(m),
         }
@@ -175,6 +182,7 @@ mod tests {
             Error::Accuracy("x".into()),
             Error::Capacity("x".into()),
             Error::ServerBusy("x".into()),
+            Error::ReadOnly("x".into()),
             Error::Config("x".into()),
             Error::Unsupported("x".into()),
         ];
@@ -188,5 +196,18 @@ mod tests {
     #[test]
     fn server_busy_is_retryable() {
         assert!(Error::ServerBusy("shed".into()).is_retryable());
+    }
+
+    #[test]
+    fn read_only_is_not_retryable_and_round_trips() {
+        // A follower refusing a mutation is a *routing* error: retrying
+        // the same statement against the same endpoint can never
+        // succeed, so the client must not auto-retry it.
+        let e = Error::ReadOnly("followers refuse INSERT".into());
+        assert!(!e.is_retryable());
+        assert_eq!(e.class(), "read_only");
+        let back = Error::from_class(e.class(), "followers refuse INSERT");
+        assert!(matches!(back, Error::ReadOnly(_)));
+        assert!(back.to_string().contains("read-only endpoint"));
     }
 }

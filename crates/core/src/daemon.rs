@@ -39,7 +39,9 @@ use crate::db::{Db, PumpReport};
 /// Shared daemon scaffolding: spawn a pump thread over mutable state `R`,
 /// tick it on a fixed wall-clock interval, and return the final state on
 /// stop. The step always runs once more after the stop signal (drain).
-struct DaemonCore<R> {
+/// Public so out-of-crate daemons (the replication segment shipper) ride
+/// the same stop/drain/panic-propagation contract.
+pub struct DaemonCore<R> {
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<Result<R>>>,
 }
@@ -47,7 +49,7 @@ struct DaemonCore<R> {
 impl<R: Send + 'static> DaemonCore<R> {
     /// Fails only if the OS cannot spawn the thread (resource exhaustion);
     /// the caller surfaces that as a typed error instead of panicking.
-    fn spawn<F>(name: &str, tick: StdDuration, init: R, mut step: F) -> Result<DaemonCore<R>>
+    pub fn spawn<F>(name: &str, tick: StdDuration, init: R, mut step: F) -> Result<DaemonCore<R>>
     where
         F: FnMut(&mut R) -> Result<()> + Send + 'static,
     {
@@ -74,7 +76,7 @@ impl<R: Send + 'static> DaemonCore<R> {
 
     /// Signal the thread, wait for a final drain step, and return the
     /// accumulated state. A panic on the daemon thread is re-raised here.
-    fn stop(mut self) -> Result<R> {
+    pub fn stop(mut self) -> Result<R> {
         match self
             .signal_and_join()
             .expect("stop called once on a live daemon") // lint:allow(L001, handle is Some until stop() consumes self)
@@ -84,7 +86,8 @@ impl<R: Send + 'static> DaemonCore<R> {
         }
     }
 
-    fn is_running(&self) -> bool {
+    /// Is the daemon thread still attached (not yet stopped)?
+    pub fn is_running(&self) -> bool {
         self.handle.is_some()
     }
 }

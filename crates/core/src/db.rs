@@ -76,6 +76,19 @@ pub struct PumpReport {
     pub deferred: usize,
 }
 
+/// Carry-over state for [`Db::replay_external_ops`]: a replication
+/// follower applies the shipped log in barrier-bounded slices, and this
+/// struct preserves idempotence bookkeeping (tuple-id remapping, the
+/// replayed-written set) plus the applied frontier between slices.
+#[derive(Debug, Default)]
+pub struct ReplicaApplyState {
+    remap: HashMap<(TableId, TupleId), TupleId>,
+    replay_written: HashSet<(TableId, TupleId)>,
+    /// Ops with LSN below this frontier have already been applied and
+    /// are skipped on the next call.
+    pub applied_upto: Lsn,
+}
+
 /// The InstantDB engine.
 pub struct Db {
     cfg: DbConfig,
@@ -856,6 +869,156 @@ impl Db {
         db.rearm_all()?;
         drop(recovery_timer);
         Ok(db)
+    }
+
+    /// Apply externally shipped recovery ops to this **live** database —
+    /// the replication follower's apply path. `ops` is an LSN-tagged,
+    /// LSN-ordered slice (usually `RecoveryPlan::ops` zipped with
+    /// `RecoveryPlan::op_lsns` from `recovery::replay_all`); `state`
+    /// carries the tid remap and the applied frontier across calls, so a
+    /// follower can feed successive barrier-bounded slices of the same
+    /// logical stream. Ops below `state.applied_upto` are skipped
+    /// (already applied by an earlier call). Returns the number applied.
+    ///
+    /// When [`DbConfig::replica_degrade_to`] is `Some(s)`, every stored
+    /// image is eagerly degraded through at least `s` transitions before
+    /// it reaches the heap (a fully-degraded result becomes an expunge),
+    /// and the stage floor is re-verified on the final image — a tuple
+    /// more precise than stage `s` fails with [`Error::Policy`] instead
+    /// of being written.
+    pub fn replay_external_ops(
+        &self,
+        ops: &[(Lsn, Op)],
+        state: &mut ReplicaApplyState,
+    ) -> Result<u64> {
+        let mut applied = 0u64;
+        for (lsn, op) in ops {
+            if *lsn < state.applied_upto {
+                continue;
+            }
+            match self.cfg.replica_degrade_to {
+                Some(stage) => {
+                    let degraded = self.degrade_op_to_stage(op, stage)?;
+                    self.apply_recovery_op(&degraded, &mut state.remap, &mut state.replay_written)?;
+                }
+                None => {
+                    self.apply_recovery_op(op, &mut state.remap, &mut state.replay_written)?;
+                }
+            }
+            state.applied_upto = lsn + 1;
+            applied += 1;
+        }
+        Ok(applied)
+    }
+
+    /// Rewrite `op` so any stored image it carries sits at or past
+    /// degradation stage `floor` in every degradable column (an image
+    /// with nothing left becomes an [`Op::Expunge`]), then verify the
+    /// floor actually holds. Ops without an image pass through.
+    fn degrade_op_to_stage(&self, op: &Op, floor: u8) -> Result<Op> {
+        let (row, at) = match op {
+            Op::Insert { row, at, .. } | Op::Update { row, at, .. } => (row, *at),
+            Op::Degrade { row, at, .. } => (row, *at),
+            // Deletes/expunges/unrecoverables only ever *remove*
+            // precision — nothing to degrade.
+            Op::Delete { .. } | Op::Expunge { .. } | Op::Unrecoverable { .. } => {
+                return Ok(op.clone())
+            }
+        };
+        let table = self.catalog.get_by_id(op.table())?;
+        let schema = table.schema();
+        let deg_cols = schema.degradable_columns();
+        let mut tuple = crate::tuple::decode_stored(row)?;
+        for (slot, cid) in deg_cols.iter().enumerate() {
+            let Some(mut stage) = tuple.stages.get(slot).copied().flatten() else {
+                continue; // already removed — coarser than any floor
+            };
+            let d = schema.column(*cid).degrader().expect("degradable"); // lint:allow(L001, column from degradable_columns() always has a degrader)
+            let stages = d.lcp().stages();
+            while stage < floor {
+                match stages.get(stage as usize + 1) {
+                    Some(next) => {
+                        let coarser = d
+                            .hierarchy()
+                            .generalize(&tuple.row[cid.0 as usize], next.level)?;
+                        tuple.row[cid.0 as usize] = coarser;
+                        stage += 1;
+                        tuple.stages[slot] = Some(stage);
+                    }
+                    None => {
+                        // The LCP ends before the floor: the value is
+                        // removed outright (degrading past the last
+                        // stage only ever loses information).
+                        tuple.stages[slot] = None;
+                        tuple.row[cid.0 as usize] = Value::Removed;
+                        break;
+                    }
+                }
+            }
+        }
+        self.check_replica_stage_floor(&table, &tuple, floor)?;
+        if tuple.fully_degraded() {
+            return Ok(Op::Expunge {
+                table: op.table(),
+                tid: op.tid(),
+                at,
+            });
+        }
+        let bytes = encode_stored_raw(tuple.insert_ts, &tuple.stages, &tuple.row);
+        Ok(match op {
+            Op::Insert { table, tid, at, .. } => Op::Insert {
+                table: *table,
+                tid: *tid,
+                row: bytes,
+                at: *at,
+            },
+            Op::Update { table, tid, at, .. } => Op::Update {
+                table: *table,
+                tid: *tid,
+                row: bytes,
+                at: *at,
+            },
+            Op::Degrade {
+                table,
+                tid,
+                column,
+                to_level,
+                at,
+                ..
+            } => Op::Degrade {
+                table: *table,
+                tid: *tid,
+                column: *column,
+                to_level: *to_level,
+                row: bytes,
+                at: *at,
+            },
+            _ => unreachable!("image-less ops returned above"),
+        })
+    }
+
+    /// The degraded-replica invariant: every degradable value of `tuple`
+    /// is removed or at degradation stage ≥ `floor`. [`Error::Policy`]
+    /// otherwise — the caller must refuse to write the image.
+    fn check_replica_stage_floor(
+        &self,
+        table: &Table,
+        tuple: &StoredTuple,
+        floor: u8,
+    ) -> Result<()> {
+        let schema = table.schema();
+        for (slot, cid) in schema.degradable_columns().iter().enumerate() {
+            if let Some(stage) = tuple.stages.get(slot).copied().flatten() {
+                if stage < floor {
+                    return Err(Error::Policy(format!(
+                        "degraded-replica invariant violated: column '{}' at stage {stage} \
+                         is more precise than the declared floor {floor}",
+                        schema.column(*cid).name
+                    )));
+                }
+            }
+        }
+        Ok(())
     }
 
     fn apply_recovery_op(

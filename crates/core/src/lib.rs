@@ -48,8 +48,8 @@ pub mod schema;
 pub mod tuple;
 
 pub use config::{DbConfig, DbConfigBuilder, WalMode};
-pub use daemon::{CheckpointReport, Checkpointer, DegradationDaemon};
-pub use db::{CommitHandle, Db};
+pub use daemon::{CheckpointReport, Checkpointer, DaemonCore, DegradationDaemon};
+pub use db::{CommitHandle, Db, ReplicaApplyState};
 pub use instant_wal::{GroupCommitConfig, GroupCommitStats};
 pub use query::session::{HierarchyRegistry, Session};
 pub use schema::{Column, ColumnKind, TableSchema};

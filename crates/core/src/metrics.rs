@@ -241,6 +241,20 @@ pub fn stats_snapshot(db: &Db) -> StatsSnapshot {
         snap.counters.push((name.to_string(), v));
     }
 
+    // Per-shard segment lanes: the aggregated `wal.segments_deleted`
+    // hides *which* shard a retention hold pinned, so surface each
+    // shard's lifecycle counters alongside the sums. A hold that parks
+    // truncation on one shard shows up as that shard's
+    // `segments_deleted` lane flat-lining while others advance.
+    if let Some(w) = db.wal() {
+        for (k, s) in w.segment_stats_per_shard().iter().enumerate() {
+            snap.counters
+                .push((format!("wal.shard{k}.segments"), s.segments));
+            snap.counters
+                .push((format!("wal.shard{k}.segments_deleted"), s.segments_deleted));
+        }
+    }
+
     let sched = db.scheduler();
     snap.counters
         .push(("sched.fired".to_string(), sched.fired()));
@@ -447,6 +461,59 @@ mod tests {
         );
         assert_eq!(s.segments, 1, "only the checkpoint's segment remains");
         assert_eq!(s.group_failed_batches, 0);
+    }
+
+    #[test]
+    fn stats_snapshot_exposes_per_shard_segment_lanes() {
+        let clock = MockClock::new();
+        let db = Db::open(
+            DbConfig {
+                wal_shards: 2,
+                ..DbConfig::default()
+            },
+            clock.shared(),
+        )
+        .unwrap();
+        let gt: Arc<dyn Hierarchy> = Arc::new(location_tree_fig1());
+        db.create_table(
+            TableSchema::new(
+                "person",
+                vec![
+                    Column::stable("id", DataType::Int),
+                    Column::degradable(
+                        "location",
+                        DataType::Str,
+                        gt,
+                        AttributeLcp::fig2_location(),
+                    )
+                    .unwrap(),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        for i in 0..6 {
+            db.insert(
+                "person",
+                &[Value::Int(i), Value::Str("4 rue Jussieu".into())],
+            )
+            .unwrap();
+        }
+        db.checkpoint().unwrap();
+        let snap = stats_snapshot(&db);
+        // The aggregate still sums the shards…
+        let agg = snap.counter("wal.segments_deleted").unwrap();
+        let per_shard: u64 = (0..2)
+            .map(|k| {
+                snap.counter(&format!("wal.shard{k}.segments_deleted"))
+                    .unwrap_or_else(|| panic!("missing shard {k} lane"))
+            })
+            .sum();
+        assert_eq!(agg, per_shard, "aggregate equals the per-shard sum");
+        // …and each shard reports its live segment count.
+        for k in 0..2 {
+            assert!(snap.counter(&format!("wal.shard{k}.segments")).unwrap() >= 1);
+        }
     }
 
     #[test]

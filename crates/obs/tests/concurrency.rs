@@ -46,16 +46,12 @@ fn snapshots_under_concurrent_writers_never_overcount() {
                 // scheduled, and the test still wants ≥ 1 mid/post-storm
                 // snapshot validated.
                 let stop = done2.load(Ordering::SeqCst);
-                let upper = recorded2.load(Ordering::SeqCst);
                 let snap = hist2.snapshot();
-                assert!(
-                    snap.count <= upper + WRITERS as u64,
-                    "snapshot count {} exceeds possible recorded {} (+in-flight)",
-                    snap.count,
-                    upper
-                );
                 // The bucket walk itself bounds the count: a snapshot can
-                // never exceed what was recorded before it finished.
+                // never exceed what was recorded before it finished. The
+                // bound must be read *after* the walk — writers keep
+                // landing samples while it runs, so a pre-walk load plus
+                // any fixed slack is not an upper bound.
                 let after = recorded2.load(Ordering::SeqCst);
                 assert!(
                     snap.count <= after,

@@ -81,6 +81,11 @@ pub struct ServerConfig {
     /// start only when [`DbConfig::slow_query`] left the engine's own
     /// threshold unset; `None` here keeps whatever the engine has.
     pub slow_query: Option<StdDuration>,
+    /// Serve every connection in read-only mode: mutating statements
+    /// fail with a typed [`ReadOnly`](instant_common::Error::ReadOnly)
+    /// error while SELECT / DECLARE PURPOSE / SHOW STATS run normally.
+    /// This is how a replication follower exposes its engine.
+    pub read_only: bool,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +100,7 @@ impl Default for ServerConfig {
             handshake_timeout: StdDuration::from_secs(10),
             write_timeout: StdDuration::from_secs(30),
             slow_query: Some(StdDuration::from_millis(250)),
+            read_only: false,
         }
     }
 }
@@ -609,10 +615,11 @@ fn reader_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
             },
         ),
         max_frame_bytes: shared.cfg.max_frame_bytes,
-        session: Mutex::ranked(
-            150,
-            Session::with_registry(shared.db.clone(), shared.hierarchies.clone()),
-        ),
+        session: Mutex::ranked(150, {
+            let mut session = Session::with_registry(shared.db.clone(), shared.hierarchies.clone());
+            session.set_read_only(shared.cfg.read_only);
+            session
+        }),
         turn: Mutex::ranked(140, 0),
         turn_cv: Condvar::new(),
     });

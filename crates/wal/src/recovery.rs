@@ -103,6 +103,10 @@ pub struct RecoveryPlan {
     pub losers: HashSet<TxId>,
     /// Redo operations in LSN order (committed transactions only).
     pub ops: Vec<Op>,
+    /// LSN of the log record each entry of `ops` was produced from
+    /// (parallel to `ops`). Replication followers key incremental
+    /// replay off this: "apply every op with LSN below the barrier".
+    pub op_lsns: Vec<Lsn>,
     /// Count of records skipped because their tx never committed.
     pub skipped_uncommitted: usize,
     /// Count of sealed images that could not be opened (shredded keys).
@@ -129,13 +133,29 @@ pub fn recover_set(
 /// Pure-function core of [`recover`] (also used by tests on synthetic logs).
 pub fn replay(records: &[(Lsn, LogRecord)], ks: &KeyStore) -> RecoveryPlan {
     let mut plan = RecoveryPlan::default();
-
     // Pass 0: find last checkpoint.
     for (lsn, rec) in records {
         if matches!(rec, LogRecord::Checkpoint { .. }) {
             plan.checkpoint_lsn = Some(*lsn);
         }
     }
+    replay_into(plan, records, ks)
+}
+
+/// [`replay`] without the checkpoint cut: redo **every** committed record
+/// in the stream. A replication follower has no heap image of its own —
+/// its state is built purely from the shipped log — so a leader-side
+/// `Checkpoint` record (which on the leader means "the heap below this
+/// LSN is flushed") must not truncate the follower's redo.
+pub fn replay_all(records: &[(Lsn, LogRecord)], ks: &KeyStore) -> RecoveryPlan {
+    replay_into(RecoveryPlan::default(), records, ks)
+}
+
+fn replay_into(
+    mut plan: RecoveryPlan,
+    records: &[(Lsn, LogRecord)],
+    ks: &KeyStore,
+) -> RecoveryPlan {
     let start = plan.checkpoint_lsn.map(|l| l + 1).unwrap_or(0);
 
     // Pass 1 (analysis): committed / loser transactions over the suffix.
@@ -281,7 +301,12 @@ pub fn replay(records: &[(Lsn, LogRecord)], ks: &KeyStore) -> RecoveryPlan {
             }
             _ => {}
         }
+        // Each record emits at most one op; tag it with the record's LSN.
+        if plan.ops.len() > plan.op_lsns.len() {
+            plan.op_lsns.push(*lsn);
+        }
     }
+    debug_assert_eq!(plan.ops.len(), plan.op_lsns.len());
     plan
 }
 
@@ -451,6 +476,48 @@ mod tests {
             }
         ));
         assert!(matches!(&plan.ops[1], Op::Expunge { .. }));
+    }
+
+    #[test]
+    fn op_lsns_parallel_the_ops() {
+        let ks = ks();
+        let log = seq(vec![
+            begin(1),
+            insert(1, 0, b"a"),
+            insert(1, 1, b"b"),
+            commit(1),
+            begin(2),
+            insert(2, 2, b"loser"),
+        ]);
+        let plan = replay(&log, &ks);
+        assert_eq!(plan.ops.len(), 2);
+        assert_eq!(plan.op_lsns, vec![1, 2], "data-record LSNs, in order");
+    }
+
+    #[test]
+    fn replay_all_ignores_the_checkpoint_cut() {
+        let ks = ks();
+        let log = seq(vec![
+            begin(1),
+            insert(1, 0, b"old"),
+            commit(1),
+            LogRecord::Checkpoint {
+                at: Timestamp::ZERO,
+            },
+            begin(2),
+            insert(2, 1, b"new"),
+            commit(2),
+        ]);
+        // A leader recovering itself starts after the checkpoint…
+        let plan = replay(&log, &ks);
+        assert_eq!(plan.ops.len(), 1);
+        // …a follower with no heap of its own redoes everything.
+        let full = replay_all(&log, &ks);
+        assert_eq!(full.checkpoint_lsn, None);
+        assert_eq!(full.ops.len(), 2);
+        assert_eq!(full.op_lsns, vec![1, 5]);
+        assert!(matches!(&full.ops[0], Op::Insert { row, .. } if row == b"old"));
+        assert!(matches!(&full.ops[1], Op::Insert { row, .. } if row == b"new"));
     }
 
     #[test]
